@@ -1,0 +1,83 @@
+// Command pnetbench regenerates the tables and figures of "Scaling beyond
+// packet switch limits with multiple dataplanes" (CoNEXT '22).
+//
+// Usage:
+//
+//	pnetbench -list
+//	pnetbench -exp fig6a
+//	pnetbench -exp all -scale full -seed 7
+//
+// Each experiment prints the rows/series of the corresponding paper
+// artifact. The default "small" scale shrinks topologies and flow sizes
+// to finish quickly; "-scale full" runs the paper's sizes (some take
+// hours, like the original artifact). See EXPERIMENTS.md for the mapping
+// and recorded results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pnet/internal/exp"
+)
+
+func main() {
+	var (
+		expID  = flag.String("exp", "", "experiment id to run, or 'all'")
+		scale  = flag.String("scale", "small", "small | full")
+		seed   = flag.Int64("seed", 1, "random seed")
+		list   = flag.Bool("list", false, "list experiments")
+		timing = flag.Bool("time", true, "print wall-clock time per experiment")
+		format = flag.String("format", "table", "table | csv")
+	)
+	flag.Parse()
+
+	if *list || *expID == "" {
+		fmt.Println("experiments:")
+		for _, e := range exp.All() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		if *expID == "" && !*list {
+			fmt.Println("\nrun one with -exp <id>, or -exp all")
+		}
+		return
+	}
+
+	params := exp.Params{Seed: *seed}
+	switch *scale {
+	case "small":
+		params.Scale = exp.ScaleSmall
+	case "full":
+		params.Scale = exp.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "pnetbench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	var toRun []exp.Experiment
+	if *expID == "all" {
+		toRun = exp.All()
+	} else {
+		e, ok := exp.ByID(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pnetbench: unknown experiment %q (use -list)\n", *expID)
+			os.Exit(2)
+		}
+		toRun = []exp.Experiment{e}
+	}
+
+	for _, e := range toRun {
+		start := time.Now()
+		table := e.Run(params)
+		if *format == "csv" {
+			fmt.Printf("# %s: %s\n%s\n", table.ID, table.Title, table.CSV())
+		} else {
+			fmt.Println(table.String())
+		}
+		if *timing && *format != "csv" {
+			fmt.Printf("(%s in %v at scale %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond), params.Scale)
+		}
+	}
+}

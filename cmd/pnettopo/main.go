@@ -1,0 +1,137 @@
+// Command pnettopo inspects P-Net topologies: sizes, per-plane structure,
+// hop-count distributions, host redundancy (link-disjoint paths), and the
+// §6.1 deployment plans with and without cable bundling and patch panels.
+//
+// Usage:
+//
+//	pnettopo -topo fattree -k 8 -planes 4
+//	pnettopo -topo jellyfish -switches 98 -degree 7 -hostsper 7 -planes 4 -hetero
+//	pnettopo -topo mixed -k 8 -planes 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"pnet/internal/graph"
+	"pnet/internal/topo"
+	"pnet/internal/workload"
+)
+
+func main() {
+	var (
+		kind     = flag.String("topo", "fattree", "fattree | jellyfish | mixed")
+		k        = flag.Int("k", 8, "fat tree arity (fattree/mixed)")
+		switches = flag.Int("switches", 24, "jellyfish switches")
+		degree   = flag.Int("degree", 4, "jellyfish network degree")
+		hostsPer = flag.Int("hostsper", 4, "jellyfish hosts per switch")
+		planes   = flag.Int("planes", 4, "number of dataplanes")
+		hetero   = flag.Bool("hetero", false, "heterogeneous planes (jellyfish)")
+		speed    = flag.Float64("speed", 100, "link speed in Gb/s")
+		seed     = flag.Int64("seed", 1, "random seed")
+		pairs    = flag.Int("pairs", 1000, "sampled host pairs for hop statistics")
+	)
+	flag.Parse()
+
+	var tp *topo.Topology
+	switch *kind {
+	case "fattree":
+		set := topo.FatTreeSet(*k, *planes, *speed)
+		if *planes == 1 {
+			tp = set.SerialLow
+		} else {
+			tp = set.ParallelHomo
+		}
+	case "jellyfish":
+		set := topo.JellyfishSet(*switches, *degree, *hostsPer, *planes, *speed, *seed)
+		switch {
+		case *planes == 1:
+			tp = set.SerialLow
+		case *hetero:
+			tp = set.ParallelHetero
+		default:
+			tp = set.ParallelHomo
+		}
+	case "mixed":
+		tp = topo.MixedPNet(*k, *planes, *speed, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "pnettopo: unknown topology %q\n", *kind)
+		os.Exit(2)
+	}
+
+	fmt.Printf("topology: %s\n", tp.Name)
+	fmt.Printf("  hosts: %d   racks: %d   planes: %d   host bandwidth: %.0f Gb/s\n",
+		tp.NumHosts(), tp.NumRacks, tp.Planes, tp.HostBandwidth())
+	fmt.Printf("  nodes: %d   directed links: %d\n", tp.G.NumNodes(), tp.G.NumLinks())
+	for p := 0; p < tp.Planes; p++ {
+		fmt.Printf("  plane %d: %d switches\n", p, tp.SwitchCount[p])
+	}
+
+	// Hop-count distribution over sampled pairs.
+	rng := rand.New(rand.NewSource(*seed))
+	sample := workload.RandomPairs(tp, *pairs, rng)
+	hist := map[int]int{}
+	total, count := 0, 0
+	for _, pr := range sample {
+		if p, ok := graph.ShortestPath(tp.G, pr[0], pr[1]); ok {
+			hist[p.Len()]++
+			total += p.Len()
+			count++
+		}
+	}
+	fmt.Printf("\nshortest-path hop distribution (%d sampled pairs):\n", count)
+	for h := 0; h <= maxKey(hist); h++ {
+		if n := hist[h]; n > 0 {
+			fmt.Printf("  %2d hops: %5.1f%%  %s\n", h, 100*float64(n)/float64(count),
+				bar(40*n/count))
+		}
+	}
+	fmt.Printf("  mean: %.3f hops\n", float64(total)/float64(count))
+
+	// Host redundancy.
+	if count > 0 {
+		pr := sample[0]
+		dj := graph.EdgeDisjointPaths(tp.G, pr[0], pr[1], 0)
+		fmt.Printf("\nlink-disjoint host-to-host paths: %d (one per plane)\n", dj)
+	}
+
+	// Deployment plans.
+	fmt.Println("\ndeployment plans (§6.1):")
+	fmt.Printf("  %-22s %12s %12s %12s %8s %14s\n",
+		"options", "host cables", "core cables", "panel ports", "boxes", "transceivers")
+	for _, o := range []struct {
+		label string
+		opts  topo.DeployOptions
+	}{
+		{"naive", topo.DeployOptions{}},
+		{"bundled", topo.DeployOptions{Bundle: true}},
+		{"bundled+patch-panel", topo.DeployOptions{Bundle: true, PatchPanel: true}},
+	} {
+		d := topo.PlanDeployment(tp, o.opts)
+		fmt.Printf("  %-22s %12d %12d %12d %8d %14d\n",
+			o.label, d.HostCables, d.CoreCables, d.PatchPanelPorts, d.SwitchBoxes, d.Transceivers)
+	}
+}
+
+func maxKey(m map[int]int) int {
+	max := 0
+	for k := range m {
+		if k > max {
+			max = k
+		}
+	}
+	return max
+}
+
+func bar(n int) string {
+	if n < 0 {
+		n = 0
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '#'
+	}
+	return string(b)
+}

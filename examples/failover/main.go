@@ -1,0 +1,81 @@
+// Graceful degradation under failures (paper §5.4 and §3.4).
+//
+// P-Net hosts observe link status directly and steer flows away from
+// broken dataplanes. This example fails an entire plane mid-transfer
+// workload, shows the host-side failover, and then sweeps random link
+// failures to reproduce the Figure 14 hop-count degradation comparison.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+
+	"pnet/internal/core"
+	"pnet/internal/failure"
+	"pnet/internal/topo"
+)
+
+func main() {
+	set := topo.ScaledJellyfish(24, 4, 100, 9) // 96 hosts, 4 planes
+
+	// Part 1: host-side plane failover.
+	pn := core.New(set.ParallelHetero)
+	src, dst := pn.Topo.Hosts[0], pn.Topo.Hosts[77]
+
+	before, _ := pn.LowLatencyPath(src, dst)
+	fmt.Printf("host 0 -> host 77: best path %d hops on plane %d\n",
+		before.Len(), before.Plane(pn.Topo.G))
+
+	victim := int(before.Plane(pn.Topo.G))
+	pn.MarkPlaneDown(victim)
+	fmt.Printf("plane %d marked down (e.g. for a one-plane-at-a-time upgrade)\n", victim)
+
+	after, ok := pn.LowLatencyPath(src, dst)
+	if !ok {
+		fmt.Println("no path — unexpected in a 4-plane network")
+		return
+	}
+	fmt.Printf("host re-routes instantly: %d hops on plane %d\n",
+		after.Len(), after.Plane(pn.Topo.G))
+	pn.MarkPlaneUp(victim)
+
+	// Round-robin load balancing skips dead planes too.
+	pn.MarkPlaneDown(1)
+	fmt.Print("round-robin over remaining planes: ")
+	for i := 0; i < 6; i++ {
+		p, _ := pn.NextPlane(0)
+		fmt.Print(p, " ")
+	}
+	fmt.Println()
+	pn.MarkPlaneUp(1)
+
+	// Part 2: the Figure 14 sweep — average shortest-path hop count as
+	// random inter-switch cables fail.
+	fmt.Println("\naverage hop count vs random link failures (paper Fig. 14):")
+	fmt.Printf("%-26s %8s %8s %8s %8s %8s\n", "network", "0%", "10%", "20%", "30%", "40%")
+	cfg := failure.Config{
+		Fractions: []float64{0, 0.1, 0.2, 0.3, 0.4},
+		Pairs:     800,
+		Trials:    3,
+		Seed:      4,
+	}
+	for _, n := range []struct {
+		name string
+		tp   *topo.Topology
+	}{
+		{"serial", set.SerialLow},
+		{"parallel homogeneous", set.ParallelHomo},
+		{"parallel heterogeneous", set.ParallelHetero},
+	} {
+		pts := failure.HopCountSweep(n.tp, cfg)
+		fmt.Printf("%-26s", n.name)
+		for _, pt := range pts {
+			fmt.Printf(" %8.3f", pt.AvgHops)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nSerial networks lose short paths quickly; the P-Net's extra")
+	fmt.Println("planes preserve them (the paper reports +22% hops for serial vs")
+	fmt.Println("+3% for a 4-plane homogeneous P-Net at 40% failures).")
+}

@@ -1,0 +1,65 @@
+// RPC latency on heterogeneous parallel Jellyfish (paper §5.2.1).
+//
+// Every host runs ping-pong 1500 B RPCs against random servers on four
+// network types. Heterogeneous P-Nets win on latency because, for any
+// given pair of hosts, one of the four differently-wired planes often has
+// a shorter path — and small RPCs are dominated by per-hop latency.
+//
+//	go run ./examples/rpclatency
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pnet/internal/metrics"
+	"pnet/internal/sim"
+	"pnet/internal/tcp"
+	"pnet/internal/topo"
+	"pnet/internal/workload"
+)
+
+func main() {
+	const planes = 4
+	set := topo.ScaledJellyfish(24, planes, 100, 42) // 96 hosts
+
+	nets := []struct {
+		name string
+		tp   *topo.Topology
+	}{
+		{"serial low-bw (1x100G)", set.SerialLow},
+		{"parallel homogeneous (4x100G)", set.ParallelHomo},
+		{"parallel heterogeneous (4x100G)", set.ParallelHetero},
+		{"serial high-bw (1x400G)", set.SerialHigh},
+	}
+
+	fmt.Println("1500B ping-pong RPCs, single-path routing, 96-host Jellyfish")
+	fmt.Printf("%-34s %10s %10s %10s\n", "network", "median", "mean", "p99")
+
+	var baseline metrics.Summary
+	for i, n := range nets {
+		d := workload.NewDriver(n.tp, sim.Config{}, tcp.Config{})
+		samples, err := workload.RunRPC(d, workload.RPCConfig{
+			ReqBytes:     1500,
+			RespBytes:    1500,
+			Rounds:       50,
+			LoopsPerHost: 1,
+			Sel:          workload.Selection{Policy: workload.ECMP},
+			Seed:         7,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", n.name, err)
+		}
+		s := metrics.Summarize(samples)
+		if i == 0 {
+			baseline = s
+		}
+		rel := s.Relative(baseline)
+		fmt.Printf("%-34s %9.2fus %9.2fus %9.2fus   (median %.0f%% of serial)\n",
+			n.name, s.Median*1e6, s.Mean*1e6, s.P99*1e6, rel.Median*100)
+	}
+
+	fmt.Println("\nThe heterogeneous P-Net's shorter per-pair paths cut RPC latency")
+	fmt.Println("below even the 4x-faster serial network, because propagation")
+	fmt.Println("dominates serialization for small packets (paper Table 2).")
+}

@@ -1,0 +1,65 @@
+// Hadoop-style shuffle on parallel vs serial networks (paper §5.2.2).
+//
+// A sort job reads input blocks from remote hosts, shuffles buckets
+// all-to-all between mappers and reducers, and writes replicated output —
+// the three-stage traffic of Figure 12. Parallel networks spread the block
+// transfers over their planes and approach the ideal high-bandwidth
+// network's completion times.
+//
+//	go run ./examples/shuffle
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pnet/internal/metrics"
+	"pnet/internal/sim"
+	"pnet/internal/tcp"
+	"pnet/internal/topo"
+	"pnet/internal/workload"
+)
+
+func main() {
+	set := topo.ScaledJellyfish(16, 4, 100, 11) // 64 hosts, 4 planes
+
+	cfg := workload.ShuffleConfig{
+		Mappers:     8,
+		Reducers:    8,
+		TotalBytes:  256 << 20, // 256 MB sort (scaled from the paper's 100 GB)
+		BlockBytes:  8 << 20,   // 8 MB blocks (scaled from 128 MB)
+		Concurrency: 4,
+		Sel:         workload.Selection{Policy: workload.ECMP},
+		Seed:        3,
+	}
+
+	nets := []struct {
+		name string
+		tp   *topo.Topology
+	}{
+		{"serial low-bw", set.SerialLow},
+		{"parallel homogeneous", set.ParallelHomo},
+		{"parallel heterogeneous", set.ParallelHetero},
+		{"serial high-bw", set.SerialHigh},
+	}
+
+	fmt.Printf("%d MB sort, %d mappers + %d reducers, single-path routing\n\n",
+		cfg.TotalBytes>>20, cfg.Mappers, cfg.Reducers)
+	fmt.Printf("%-24s %14s %14s %14s\n", "network", "read (med)", "shuffle (med)", "write (med)")
+
+	for _, n := range nets {
+		d := workload.NewDriver(n.tp, sim.Config{}, tcp.Config{})
+		times, err := workload.RunShuffle(d, cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", n.name, err)
+		}
+		med := func(xs []float64) string {
+			return fmt.Sprintf("%11.2fms", metrics.Summarize(xs).Median*1e3)
+		}
+		fmt.Printf("%-24s %s %s %s\n", n.name,
+			med(times.Read), med(times.Shuffle), med(times.Write))
+	}
+
+	fmt.Println("\nThe dense shuffle stage benefits most from parallel planes;")
+	fmt.Println("sparse read/write stages also gain from fewer flow collisions.")
+}

@@ -1,0 +1,3 @@
+module pnet
+
+go 1.22

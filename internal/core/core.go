@@ -1,0 +1,221 @@
+// Package core implements the P-Net end-host control plane — the paper's
+// primary contribution. In a Parallel Dataplane Network the end host, not
+// the fabric, decides which dataplane(s) and path(s) every flow uses
+// (§3.4). This package exposes that decision surface:
+//
+//   - the "low-latency" proxy interface: a single shortest path, which in
+//     a heterogeneous P-Net automatically lands on the plane with the
+//     fewest hops to the destination;
+//   - the "high-throughput" proxy interface: K shortest paths interleaved
+//     across planes, for MPTCP multipathing with K scaled to the number
+//     of planes (§4's N×8 rule);
+//   - per-flow ECMP hashing over planes and equal-cost paths, the naive
+//     baseline the paper shows to under-use parallel capacity;
+//   - round-robin plane rotation, the default load-balancing of §3.4;
+//   - the flow-size policy of §5.1.2: flows up to 100 MB use a single
+//     path, flows of 1 GB and beyond go multipath;
+//   - link-status-driven failure handling: hosts detect a failed plane
+//     and exclude it, degrading gracefully (§3.4, §5.4).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"pnet/internal/graph"
+	"pnet/internal/route"
+	"pnet/internal/topo"
+)
+
+// Flow-size policy thresholds from §5.1.2: at or below SmallFlowMax a flow
+// gains little from MPTCP and should use a single path; at or above
+// BulkFlowMin it should multipath. Between the two, the policy defaults to
+// single-path (the paper's conservative recommendation pending tuning).
+const (
+	SmallFlowMax = 100 << 20 // 100 MB
+	BulkFlowMin  = 1 << 30   // 1 GB
+)
+
+// PNet is the end-host view of a parallel dataplane network. It caches
+// routing state (ECMP DAGs, K-shortest-path sets) and invalidates the
+// caches when links change state. It is not safe for concurrent use.
+type PNet struct {
+	Topo *topo.Topology
+
+	planeUp []bool
+	rrNext  []uint32 // per-host round-robin plane cursor
+
+	dagCache map[graph.NodeID][][]graph.LinkID
+	kspCache map[kspKey][]graph.Path
+
+	// Traffic classes (see isolation.go).
+	classes    map[string][]int
+	classMasks map[string][]bool
+	planeMasks map[int][]bool
+}
+
+type kspKey struct {
+	src, dst graph.NodeID
+	k        int
+}
+
+// New wraps a topology in the end-host control plane.
+func New(t *topo.Topology) *PNet {
+	p := &PNet{
+		Topo:    t,
+		planeUp: make([]bool, t.Planes),
+		rrNext:  make([]uint32, t.NumHosts()),
+	}
+	for i := range p.planeUp {
+		p.planeUp[i] = true
+	}
+	p.resetCaches()
+	return p
+}
+
+func (p *PNet) resetCaches() {
+	p.dagCache = make(map[graph.NodeID][][]graph.LinkID)
+	p.kspCache = make(map[kspKey][]graph.Path)
+}
+
+// Planes returns the number of dataplanes.
+func (p *PNet) Planes() int { return p.Topo.Planes }
+
+// LowLatencyPath is the single-shortest-path interface: the fewest-hop
+// path to dst across all usable planes. In a heterogeneous P-Net this
+// exploits the plane with the shortest route for this particular pair —
+// the mechanism behind the paper's RPC latency wins (§5.2.1).
+func (p *PNet) LowLatencyPath(src, dst graph.NodeID) (graph.Path, bool) {
+	return graph.ShortestPath(p.Topo.G, src, dst)
+}
+
+// HighThroughputPaths is the multipath interface: up to k shortest paths
+// interleaved across planes, suitable for one MPTCP subflow each. Results
+// are cached per (src, dst, k).
+func (p *PNet) HighThroughputPaths(src, dst graph.NodeID, k int) []graph.Path {
+	key := kspKey{src, dst, k}
+	if ps, ok := p.kspCache[key]; ok {
+		return ps
+	}
+	ps := route.KSPPaths(p.Topo.G, []route.Commodity{{Src: src, Dst: dst, Demand: 1}}, k)[0]
+	p.kspCache[key] = ps
+	return ps
+}
+
+// ECMPPath returns the hash-pinned single path a naive ECMP deployment
+// would give the flow: every hop (including the host's choice among plane
+// uplinks) hashes among equal-cost shortest next hops.
+func (p *PNet) ECMPPath(src, dst graph.NodeID, flowHash uint64) (graph.Path, bool) {
+	dag, ok := p.dagCache[dst]
+	if !ok {
+		dag = graph.ShortestDAG(p.Topo.G, dst)
+		p.dagCache[dst] = dag
+	}
+	return graph.ECMPPath(p.Topo.G, dag, src, dst, flowHash)
+}
+
+// SubflowsFor implements the paper's guidance on multipath degree: a
+// serial network saturates at 8 subflows, and an N-plane P-Net needs N
+// times as many (§4, Figures 6c and 8c).
+func SubflowsFor(planes int) int { return 8 * planes }
+
+// PathsForFlow applies the flow-size policy: small flows get the
+// low-latency single path; bulk flows get k multipath routes (k ≤ 0
+// selects SubflowsFor(planes)). The middle band defaults to single-path.
+func (p *PNet) PathsForFlow(src, dst graph.NodeID, sizeBytes int64, k int) []graph.Path {
+	if sizeBytes < BulkFlowMin {
+		if path, ok := p.LowLatencyPath(src, dst); ok {
+			return []graph.Path{path}
+		}
+		return nil
+	}
+	if k <= 0 {
+		k = SubflowsFor(p.Planes())
+	}
+	return p.HighThroughputPaths(src, dst, k)
+}
+
+// NextPlane rotates host h's round-robin cursor over usable planes — the
+// default load-balancing policy of §3.4. ok is false when every plane is
+// down.
+func (p *PNet) NextPlane(h int) (int, bool) {
+	for i := 0; i < p.Topo.Planes; i++ {
+		plane := int(p.rrNext[h]) % p.Topo.Planes
+		p.rrNext[h]++
+		if p.planeUp[plane] {
+			return plane, true
+		}
+	}
+	return 0, false
+}
+
+// UplinkFor returns host h's uplink on the given plane.
+func (p *PNet) UplinkFor(h, plane int) graph.LinkID { return p.Topo.Uplinks[h][plane] }
+
+// FailLink marks a directed link down and invalidates routing caches.
+// Hosts observe uplink failures via link status (§3.4); use MarkPlaneDown
+// for whole-plane maintenance events.
+func (p *PNet) FailLink(id graph.LinkID) {
+	p.Topo.G.SetLinkUp(id, false)
+	p.resetCaches()
+}
+
+// RestoreLink marks a directed link up again.
+func (p *PNet) RestoreLink(id graph.LinkID) {
+	p.Topo.G.SetLinkUp(id, true)
+	p.resetCaches()
+}
+
+// MarkPlaneDown excludes a whole dataplane from selection (e.g. during a
+// one-plane-at-a-time upgrade, §6.1); host uplinks to it are downed so
+// path computation avoids it too.
+func (p *PNet) MarkPlaneDown(plane int) {
+	p.setPlane(plane, false)
+}
+
+// MarkPlaneUp returns a dataplane to service.
+func (p *PNet) MarkPlaneUp(plane int) {
+	p.setPlane(plane, true)
+}
+
+func (p *PNet) setPlane(plane int, up bool) {
+	if plane < 0 || plane >= p.Topo.Planes {
+		panic(fmt.Sprintf("core: plane %d of %d", plane, p.Topo.Planes))
+	}
+	p.planeUp[plane] = up
+	for h := range p.Topo.Uplinks {
+		p.Topo.G.SetLinkUp(p.Topo.Uplinks[h][plane], up)
+		p.Topo.G.SetLinkUp(p.Topo.Downlinks[h][plane], up)
+	}
+	p.resetCaches()
+}
+
+// PlaneUp reports whether a plane is in service.
+func (p *PNet) PlaneUp(plane int) bool { return p.planeUp[plane] }
+
+// HopAdvantage quantifies the heterogeneous P-Net's latency edge for one
+// pair: the hop difference between plane 0's shortest path and the best
+// path across all planes (0 for homogeneous networks).
+func (p *PNet) HopAdvantage(src, dst graph.NodeID) int {
+	best, ok := p.LowLatencyPath(src, dst)
+	if !ok {
+		return 0
+	}
+	// Shortest path within plane 0 only.
+	masks := planeZeroMask(p.Topo)
+	p0 := graph.KShortestPathsMasked(p.Topo.G, src, dst, 1, masks)
+	if len(p0) == 0 {
+		return math.MaxInt32
+	}
+	return p0[0].Len() - best.Len()
+}
+
+func planeZeroMask(t *topo.Topology) []bool {
+	mask := make([]bool, t.G.NumLinks())
+	for i := 0; i < t.G.NumLinks(); i++ {
+		if pl := t.G.Link(graph.LinkID(i)).Plane; pl > 0 {
+			mask[i] = true
+		}
+	}
+	return mask
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"pnet/internal/topo"
+)
+
+func TestPathsForFlowAfterPlaneFailure(t *testing.T) {
+	set := topo.FatTreeSet(4, 2, 100)
+	p := New(set.ParallelHomo)
+	src, dst := p.Topo.Hosts[0], p.Topo.Hosts[15]
+
+	p.MarkPlaneDown(0)
+	small := p.PathsForFlow(src, dst, 1<<20, 0)
+	if len(small) != 1 || small[0].Plane(p.Topo.G) != 1 {
+		t.Errorf("small flow after failure: %d paths on plane %d",
+			len(small), small[0].Plane(p.Topo.G))
+	}
+	bulk := p.PathsForFlow(src, dst, 2<<30, 8)
+	for _, q := range bulk {
+		if q.Plane(p.Topo.G) != 1 {
+			t.Fatal("bulk flow path on downed plane")
+		}
+	}
+}
+
+func TestECMPCacheInvalidatedByFailure(t *testing.T) {
+	set := topo.FatTreeSet(4, 2, 100)
+	p := New(set.ParallelHomo)
+	src, dst := p.Topo.Hosts[0], p.Topo.Hosts[15]
+
+	// Prime the DAG cache, then fail the plane the hashed path used.
+	path, ok := p.ECMPPath(src, dst, 3)
+	if !ok {
+		t.Fatal("no path")
+	}
+	used := int(path.Plane(p.Topo.G))
+	p.MarkPlaneDown(used)
+	for h := uint64(0); h < 16; h++ {
+		q, ok := p.ECMPPath(src, dst, h)
+		if !ok {
+			t.Fatal("no ECMP path after plane failure")
+		}
+		if int(q.Plane(p.Topo.G)) == used {
+			t.Fatal("ECMP path still uses downed plane (stale cache)")
+		}
+	}
+}
+
+func TestHighThroughputPathsKExceedsDiversity(t *testing.T) {
+	// Asking for more paths than exist returns what exists, without
+	// duplicates.
+	set := topo.FatTreeSet(4, 1, 100)
+	p := New(set.SerialLow)
+	// Same-rack pair: k=4 fat tree edge switch reaches the peer in 2
+	// hops; path diversity beyond the shared ToR requires longer routes.
+	ps := p.HighThroughputPaths(p.Topo.Hosts[0], p.Topo.Hosts[1], 64)
+	if len(ps) == 0 {
+		t.Fatal("no paths")
+	}
+	seen := map[string]bool{}
+	for _, q := range ps {
+		key := ""
+		for _, l := range q.Links {
+			key += string(rune(l)) + ","
+		}
+		if seen[key] {
+			t.Fatal("duplicate path returned")
+		}
+		seen[key] = true
+		if !q.Valid(p.Topo.G) {
+			t.Fatal("invalid path")
+		}
+	}
+}
+
+func TestLowLatencyUnreachable(t *testing.T) {
+	set := topo.FatTreeSet(4, 2, 100)
+	p := New(set.ParallelHomo)
+	p.MarkPlaneDown(0)
+	p.MarkPlaneDown(1)
+	if _, ok := p.LowLatencyPath(p.Topo.Hosts[0], p.Topo.Hosts[15]); ok {
+		t.Error("found path with all planes down")
+	}
+	p.MarkPlaneUp(0)
+	if _, ok := p.LowLatencyPath(p.Topo.Hosts[0], p.Topo.Hosts[15]); !ok {
+		t.Error("no path after restoring a plane")
+	}
+}
+
+func TestSetPlaneOutOfRangePanics(t *testing.T) {
+	set := topo.FatTreeSet(4, 2, 100)
+	p := New(set.ParallelHomo)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for out-of-range plane")
+		}
+	}()
+	p.MarkPlaneDown(5)
+}
+
+func TestPlanesAccessor(t *testing.T) {
+	set := topo.FatTreeSet(4, 8, 100)
+	if got := New(set.ParallelHomo).Planes(); got != 8 {
+		t.Errorf("planes = %d", got)
+	}
+}

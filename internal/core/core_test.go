@@ -1,0 +1,225 @@
+package core
+
+import (
+	"testing"
+
+	"pnet/internal/graph"
+	"pnet/internal/route"
+	"pnet/internal/topo"
+)
+
+func heteroPair() *topo.Topology {
+	// Plane 0: 2 switch hops between ToRs; plane 1: direct.
+	long := topo.PlaneSpec{
+		Switches: 3,
+		Edges:    [][2]int{{0, 1}, {1, 2}},
+		HostPort: []int{0, 2},
+	}
+	short := topo.PlaneSpec{
+		Switches: 2,
+		Edges:    [][2]int{{0, 1}},
+		HostPort: []int{0, 1},
+	}
+	return topo.Assemble("hetero-pair", 100, long, short)
+}
+
+func TestLowLatencyPicksShortestPlane(t *testing.T) {
+	p := New(heteroPair())
+	path, ok := p.LowLatencyPath(0, 1)
+	if !ok {
+		t.Fatal("no path")
+	}
+	if path.Plane(p.Topo.G) != 1 {
+		t.Errorf("plane = %d, want 1", path.Plane(p.Topo.G))
+	}
+	if path.Len() != 3 {
+		t.Errorf("len = %d, want 3", path.Len())
+	}
+}
+
+func TestHighThroughputPathsSpreadAndCache(t *testing.T) {
+	set := topo.FatTreeSet(4, 4, 100)
+	p := New(set.ParallelHomo)
+	src, dst := p.Topo.Hosts[0], p.Topo.Hosts[15]
+	ps := p.HighThroughputPaths(src, dst, 8)
+	if len(ps) != 8 {
+		t.Fatalf("got %d paths", len(ps))
+	}
+	if route.PlaneSpread(p.Topo.G, ps) != 4 {
+		t.Errorf("spread = %d, want 4", route.PlaneSpread(p.Topo.G, ps))
+	}
+	// Cached: same slice back.
+	ps2 := p.HighThroughputPaths(src, dst, 8)
+	if &ps[0] != &ps2[0] {
+		t.Error("KSP result not cached")
+	}
+}
+
+func TestECMPPathDeterministicPerHash(t *testing.T) {
+	set := topo.FatTreeSet(4, 2, 100)
+	p := New(set.ParallelHomo)
+	src, dst := p.Topo.Hosts[0], p.Topo.Hosts[15]
+	a, ok1 := p.ECMPPath(src, dst, 7)
+	b, ok2 := p.ECMPPath(src, dst, 7)
+	if !ok1 || !ok2 || !a.Equal(b) {
+		t.Error("ECMP path not deterministic")
+	}
+	planes := map[int32]bool{}
+	for h := uint64(0); h < 32; h++ {
+		q, _ := p.ECMPPath(src, dst, h)
+		planes[q.Plane(p.Topo.G)] = true
+	}
+	if len(planes) != 2 {
+		t.Errorf("ECMP hashes onto %d planes, want 2", len(planes))
+	}
+}
+
+func TestSubflowsFor(t *testing.T) {
+	for planes, want := range map[int]int{1: 8, 2: 16, 4: 32, 8: 64} {
+		if got := SubflowsFor(planes); got != want {
+			t.Errorf("SubflowsFor(%d) = %d, want %d", planes, got, want)
+		}
+	}
+}
+
+func TestPathsForFlowPolicy(t *testing.T) {
+	set := topo.FatTreeSet(4, 2, 100)
+	p := New(set.ParallelHomo)
+	src, dst := p.Topo.Hosts[0], p.Topo.Hosts[15]
+
+	small := p.PathsForFlow(src, dst, 1<<20, 0) // 1 MB
+	if len(small) != 1 {
+		t.Errorf("small flow got %d paths, want 1", len(small))
+	}
+	mid := p.PathsForFlow(src, dst, 500<<20, 0) // 500 MB: middle band
+	if len(mid) != 1 {
+		t.Errorf("mid flow got %d paths, want 1 (conservative)", len(mid))
+	}
+	bulk := p.PathsForFlow(src, dst, 2<<30, 0) // 2 GB
+	if len(bulk) != SubflowsFor(2) {
+		t.Errorf("bulk flow got %d paths, want %d", len(bulk), SubflowsFor(2))
+	}
+	bulk4 := p.PathsForFlow(src, dst, 2<<30, 4)
+	if len(bulk4) != 4 {
+		t.Errorf("bulk flow with explicit k got %d paths", len(bulk4))
+	}
+}
+
+func TestNextPlaneRoundRobin(t *testing.T) {
+	set := topo.FatTreeSet(4, 4, 100)
+	p := New(set.ParallelHomo)
+	var got []int
+	for i := 0; i < 8; i++ {
+		pl, ok := p.NextPlane(0)
+		if !ok {
+			t.Fatal("no plane")
+		}
+		got = append(got, pl)
+	}
+	want := []int{0, 1, 2, 3, 0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rotation = %v, want %v", got, want)
+		}
+	}
+	// Hosts rotate independently.
+	pl, _ := p.NextPlane(1)
+	if pl != 0 {
+		t.Errorf("host 1 first plane = %d, want 0", pl)
+	}
+}
+
+func TestNextPlaneSkipsDownPlane(t *testing.T) {
+	set := topo.FatTreeSet(4, 2, 100)
+	p := New(set.ParallelHomo)
+	p.MarkPlaneDown(0)
+	for i := 0; i < 4; i++ {
+		pl, ok := p.NextPlane(0)
+		if !ok || pl != 1 {
+			t.Fatalf("plane = %d ok=%v, want 1", pl, ok)
+		}
+	}
+	p.MarkPlaneDown(1)
+	if _, ok := p.NextPlane(0); ok {
+		t.Error("NextPlane succeeded with all planes down")
+	}
+	p.MarkPlaneUp(0)
+	if pl, ok := p.NextPlane(0); !ok || pl != 0 {
+		t.Errorf("after restore: plane = %d ok=%v", pl, ok)
+	}
+}
+
+func TestMarkPlaneDownReroutesPaths(t *testing.T) {
+	set := topo.FatTreeSet(4, 2, 100)
+	p := New(set.ParallelHomo)
+	src, dst := p.Topo.Hosts[0], p.Topo.Hosts[15]
+
+	p.MarkPlaneDown(0)
+	path, ok := p.LowLatencyPath(src, dst)
+	if !ok {
+		t.Fatal("no path with plane 0 down")
+	}
+	if path.Plane(p.Topo.G) != 1 {
+		t.Errorf("path on plane %d, want 1", path.Plane(p.Topo.G))
+	}
+	ps := p.HighThroughputPaths(src, dst, 8)
+	for _, q := range ps {
+		if q.Plane(p.Topo.G) != 1 {
+			t.Errorf("KSP path on downed plane")
+		}
+	}
+	if p.PlaneUp(0) || !p.PlaneUp(1) {
+		t.Error("plane status wrong")
+	}
+}
+
+func TestFailLinkInvalidatesCaches(t *testing.T) {
+	set := topo.FatTreeSet(4, 2, 100)
+	p := New(set.ParallelHomo)
+	src, dst := p.Topo.Hosts[0], p.Topo.Hosts[15]
+	before := p.HighThroughputPaths(src, dst, 4)
+	// Fail the first path's first link (host 0's uplink on its plane).
+	failed := before[0].Links[0]
+	p.FailLink(failed)
+	after := p.HighThroughputPaths(src, dst, 4)
+	for _, q := range after {
+		for _, l := range q.Links {
+			if l == failed {
+				t.Fatal("path still uses failed link")
+			}
+		}
+	}
+	p.RestoreLink(failed)
+	restored := p.HighThroughputPaths(src, dst, 4)
+	if len(restored) != 4 {
+		t.Errorf("after restore got %d paths", len(restored))
+	}
+}
+
+func TestHopAdvantage(t *testing.T) {
+	p := New(heteroPair())
+	// Plane 0 path: host-sw-sw-sw-host = 4 links; plane 1: 3 links.
+	if adv := p.HopAdvantage(0, 1); adv != 1 {
+		t.Errorf("advantage = %d, want 1", adv)
+	}
+	// Homogeneous network: no advantage.
+	set := topo.FatTreeSet(4, 2, 100)
+	hp := New(set.ParallelHomo)
+	if adv := hp.HopAdvantage(hp.Topo.Hosts[0], hp.Topo.Hosts[15]); adv != 0 {
+		t.Errorf("homogeneous advantage = %d, want 0", adv)
+	}
+}
+
+func TestUplinkFor(t *testing.T) {
+	set := topo.FatTreeSet(4, 2, 100)
+	p := New(set.ParallelHomo)
+	for h := 0; h < 4; h++ {
+		for pl := 0; pl < 2; pl++ {
+			id := p.UplinkFor(h, pl)
+			l := p.Topo.G.Link(id)
+			if l.Src != graph.NodeID(h) || l.Plane != int32(pl) {
+				t.Errorf("uplink(%d,%d) = %+v", h, pl, l)
+			}
+		}
+	}
+}

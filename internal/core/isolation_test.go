@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"pnet/internal/topo"
+)
+
+func TestSetClassValidation(t *testing.T) {
+	p := New(topo.FatTreeSet(4, 2, 100).ParallelHomo)
+	if err := p.SetClass("a", []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetClass("bad", []int{2}); err == nil {
+		t.Error("no error for out-of-range plane")
+	}
+	if got := p.Class("a"); len(got) != 2 {
+		t.Errorf("class a = %v", got)
+	}
+	if err := p.SetClass("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if p.Class("a") != nil {
+		t.Error("class not removed")
+	}
+}
+
+func TestClassPathStaysInPlanes(t *testing.T) {
+	set := topo.FatTreeSet(4, 4, 100)
+	p := New(set.ParallelHomo)
+	if err := p.SetClass("latency", []int{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	src, dst := p.Topo.Hosts[0], p.Topo.Hosts[15]
+	planes := map[int32]bool{}
+	for h := uint64(0); h < 32; h++ {
+		path, ok := p.ClassPath("latency", src, dst, h)
+		if !ok {
+			t.Fatal("no class path")
+		}
+		pl := path.Plane(p.Topo.G)
+		if pl != 2 && pl != 3 {
+			t.Fatalf("class path on plane %d", pl)
+		}
+		planes[pl] = true
+		for _, l := range path.Links {
+			if q := p.Topo.G.Link(l).Plane; q != pl {
+				t.Fatal("class path crosses planes")
+			}
+		}
+	}
+	if len(planes) != 2 {
+		t.Errorf("hashing covered %d of 2 class planes", len(planes))
+	}
+}
+
+func TestClassPathsConfined(t *testing.T) {
+	set := topo.FatTreeSet(4, 4, 100)
+	p := New(set.ParallelHomo)
+	if err := p.SetClass("bulk", []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	src, dst := p.Topo.Hosts[0], p.Topo.Hosts[15]
+	paths := p.ClassPaths("bulk", src, dst, 8)
+	if len(paths) != 8 {
+		t.Fatalf("got %d paths", len(paths))
+	}
+	seen := map[int32]bool{}
+	for _, path := range paths {
+		pl := path.Plane(p.Topo.G)
+		if pl != 0 && pl != 1 {
+			t.Fatalf("KSP class path on plane %d", pl)
+		}
+		seen[pl] = true
+		if !path.Valid(p.Topo.G) {
+			t.Fatal("invalid class path")
+		}
+	}
+	if len(seen) != 2 {
+		t.Errorf("class KSP used %d planes, want 2", len(seen))
+	}
+}
+
+func TestClassLowLatencyPath(t *testing.T) {
+	// Heterogeneous pair: plane 1 is shorter. A class excluding plane 1
+	// must settle for the longer plane-0 path.
+	p := New(heteroPair())
+	if err := p.SetClass("slow", []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	path, ok := p.ClassLowLatencyPath("slow", 0, 1)
+	if !ok {
+		t.Fatal("no path")
+	}
+	if path.Plane(p.Topo.G) != 0 || path.Len() != 4 {
+		t.Errorf("path plane %d len %d, want plane 0 len 4", path.Plane(p.Topo.G), path.Len())
+	}
+	if _, ok := p.ClassLowLatencyPath("undefined", 0, 1); ok {
+		t.Error("undefined class returned a path")
+	}
+}
+
+func TestClassPathUndefinedClass(t *testing.T) {
+	p := New(topo.FatTreeSet(4, 2, 100).ParallelHomo)
+	if _, ok := p.ClassPath("nope", p.Topo.Hosts[0], p.Topo.Hosts[1], 0); ok {
+		t.Error("undefined class returned a path")
+	}
+	if ps := p.ClassPaths("nope", p.Topo.Hosts[0], p.Topo.Hosts[1], 4); ps != nil {
+		t.Error("undefined class returned paths")
+	}
+}
+
+func TestOverlappingClasses(t *testing.T) {
+	set := topo.FatTreeSet(4, 4, 100)
+	p := New(set.ParallelHomo)
+	if err := p.SetClass("a", []int{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetClass("b", []int{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	src, dst := p.Topo.Hosts[0], p.Topo.Hosts[15]
+	pa, _ := p.ClassPath("a", src, dst, 5)
+	pb, _ := p.ClassPath("b", src, dst, 5)
+	if pl := pa.Plane(p.Topo.G); pl > 2 {
+		t.Errorf("class a path on plane %d", pl)
+	}
+	if pl := pb.Plane(p.Topo.G); pl < 2 {
+		t.Errorf("class b path on plane %d", pl)
+	}
+}

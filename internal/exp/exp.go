@@ -1,0 +1,176 @@
+// Package exp implements one experiment per table and figure in the
+// paper's evaluation. Each experiment builds its topologies, runs the LP
+// (max-concurrent-flow) solver or the packet simulator, and renders the
+// same rows/series the paper reports. The cmd/pnetbench harness and the
+// repository's benchmark suite both call into this package.
+//
+// Experiments run at two scales: ScaleSmall (the default) shrinks host
+// counts and flow sizes so every experiment finishes in seconds to
+// minutes on a laptop; ScaleFull uses the paper's sizes (1024-host fat
+// trees, 686-host Jellyfish, 100 GB shuffles) and can take hours, exactly
+// like the original artifact. EXPERIMENTS.md records the mapping.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+const (
+	// ScaleSmall shrinks topologies and flow sizes for fast runs.
+	ScaleSmall Scale = iota
+	// ScaleFull uses the paper's published sizes.
+	ScaleFull
+)
+
+func (s Scale) String() string {
+	if s == ScaleFull {
+		return "full"
+	}
+	return "small"
+}
+
+// Params configures a run.
+type Params struct {
+	Scale Scale
+	// Seed makes runs reproducible; experiments derive all randomness
+	// from it.
+	Seed int64
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180-ish CSV (quotes around cells that
+// contain commas or quotes), for piping into plotting tools — the role
+// the original artifact's CSV intermediates played.
+func (t Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Experiment pairs an identifier with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Params) Table
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(Params) Table) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns every registered experiment sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// f2 formats a float with two decimals; f3 with three.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// secs formats seconds with engineering-friendly precision.
+func secs(v float64) string {
+	switch {
+	case v >= 1:
+		return fmt.Sprintf("%.3gs", v)
+	case v >= 1e-3:
+		return fmt.Sprintf("%.3gms", v*1e3)
+	case v >= 1e-6:
+		return fmt.Sprintf("%.3gus", v*1e6)
+	default:
+		return fmt.Sprintf("%.0fns", v*1e9)
+	}
+}
+
+// meanStd returns mean and population standard deviation.
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		d := x - mean
+		std += d * d
+	}
+	std /= float64(len(xs))
+	return mean, math.Sqrt(std)
+}

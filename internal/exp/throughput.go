@@ -1,0 +1,430 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pnet/internal/graph"
+	"pnet/internal/mcf"
+	"pnet/internal/route"
+	"pnet/internal/topo"
+	"pnet/internal/workload"
+)
+
+func init() {
+	register("table1", "Component counts for serial, chassis, and 8x parallel fat trees (8192 hosts)", runTable1)
+	register("fig6a", "Fat tree all-to-all throughput under ECMP vs number of planes", runFig6a)
+	register("fig6b", "Fat tree permutation throughput under ECMP vs number of planes", runFig6b)
+	register("fig6c", "Fat tree permutation throughput vs multipath degree (MPTCP+KSP)", runFig6c)
+	register("fig7", "Jellyfish rack-level all-to-all ideal throughput (no path constraint)", runFig7)
+	register("fig8a", "Jellyfish all-to-all throughput under 8-way KSP vs number of planes", runFig8a)
+	register("fig8b", "Jellyfish permutation throughput under 8-way KSP vs number of planes", runFig8b)
+	register("fig8c", "Jellyfish permutation throughput vs multipath degree", runFig8c)
+}
+
+func runTable1(Params) Table {
+	rows := topo.Table1()
+	t := Table{
+		ID:     "table1",
+		Title:  "Component counts (paper Table 1)",
+		Header: []string{"architecture", "tiers", "hops", "chips", "boxes", "links"},
+	}
+	names := []string{"Serial (scale-out)", "Serial chassis", "Parallel 8x"}
+	for i, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			names[i],
+			fmt.Sprint(r.Tiers), fmt.Sprint(r.Hops), fmt.Sprint(r.Chips),
+			fmt.Sprint(r.Boxes), fmt.Sprintf("%.1fk", float64(r.Links)/1000),
+		})
+	}
+	return t
+}
+
+// ftArity returns the fat tree arity per scale: k=8 (128 hosts) small,
+// k=16 (1024 hosts, the paper's size) full.
+func ftArity(s Scale) int {
+	if s == ScaleFull {
+		return 16
+	}
+	return 8
+}
+
+// jfSize returns the Jellyfish sizing per scale: (switches, netDegree,
+// hostsPerSwitch). Full scale is the paper's 686-host 98x(7+7)
+// configuration; small keeps the 50/50 port split at 24 switches.
+func jfSize(s Scale) (sw, deg, hps int) {
+	if s == ScaleFull {
+		return 98, 7, 7
+	}
+	return 24, 4, 4
+}
+
+const trialCount = 3 // the paper repeats each experiment >= 5 times; we default to 3
+
+// ecmpThroughput measures the achieved total throughput under per-flow
+// ECMP: every commodity is pinned to its hash-selected path and rates are
+// allocated max-min fairly (what a fair transport converges to on fixed
+// routes). Commodities carry zero demand, i.e. rates are network-limited.
+func ecmpThroughput(tp *topo.Topology, cs []route.Commodity, seed uint64) float64 {
+	paths := route.ECMPPaths(tp.G, cs, seed)
+	return mcf.MaxMinPinned(tp.G, cs, paths).Total
+}
+
+// runECMPFigure runs fig6a/fig6b: a traffic pattern under ECMP across
+// plane counts, normalized to the serial low-bandwidth network.
+func runECMPFigure(id, title string, p Params, pattern func(*topo.Topology, *rand.Rand) []route.Commodity) Table {
+	k := ftArity(p.Scale)
+	planeCounts := []int{2, 4, 8}
+
+	measure := func(tp *topo.Topology, trial int64) float64 {
+		rng := rand.New(rand.NewSource(p.Seed + trial))
+		cs := pattern(tp, rng)
+		return ecmpThroughput(tp, cs, uint64(p.Seed+trial*7919))
+	}
+	trials := func(tp *topo.Topology) (mean, std float64) {
+		var vals []float64
+		for trial := int64(0); trial < trialCount; trial++ {
+			vals = append(vals, measure(tp, trial))
+		}
+		return meanStd(vals)
+	}
+
+	serialSet := topo.FatTreeSet(k, 8, 100)
+	base, _ := trials(serialSet.SerialLow)
+
+	t := Table{
+		ID: id, Title: title,
+		Note:   fmt.Sprintf("k=%d fat tree (%d hosts), ECMP single path per flow; normalized to serial low-bw", k, k*k*k/4),
+		Header: []string{"network", "throughput(norm)", "stddev"},
+	}
+	t.Rows = append(t.Rows, []string{"serial low-bw (1x100G)", f2(1.0), f2(0)})
+	for _, n := range planeCounts {
+		set := topo.FatTreeSet(k, n, 100)
+		m, s := trials(set.ParallelHomo)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("parallel %dx100G", n), f2(m / base), f2(s / base),
+		})
+	}
+	m, s := trials(serialSet.SerialHigh)
+	t.Rows = append(t.Rows, []string{"serial high-bw (1x800G)", f2(m / base), f2(s / base)})
+	return t
+}
+
+func runFig6a(p Params) Table {
+	return runECMPFigure("fig6a", "All-to-all throughput, ECMP (paper Fig. 6a)", p,
+		func(tp *topo.Topology, _ *rand.Rand) []route.Commodity {
+			return workload.AllToAllCommodities(tp, 0) // network-limited rates
+		})
+}
+
+func runFig6b(p Params) Table {
+	return runECMPFigure("fig6b", "Permutation throughput, ECMP (paper Fig. 6b)", p,
+		func(tp *topo.Topology, rng *rand.Rand) []route.Commodity {
+			return workload.PermutationCommodities(tp, 0, rng) // network-limited
+		})
+}
+
+// kspSweep measures permutation throughput across multipath degrees. The
+// K-path sets are prefixes of the K=maxK set, so Yen runs once per pair.
+func kspSweep(tp *topo.Topology, cs []route.Commodity, ks []int, eps float64, seed int64) []float64 {
+	maxK := ks[len(ks)-1]
+	full := route.KSPPathsSeeded(tp.G, cs, maxK, seed)
+	out := make([]float64, len(ks))
+	for i, k := range ks {
+		paths := make([][]graph.Path, len(full))
+		for j, ps := range full {
+			if len(ps) > k {
+				ps = ps[:k]
+			}
+			paths[j] = ps
+		}
+		out[i] = mcf.FixedPaths(tp.G, cs, paths, mcf.Options{Epsilon: eps}).Lambda
+	}
+	return out
+}
+
+func runFig6c(p Params) Table {
+	k := ftArity(p.Scale)
+	ks := []int{1, 2, 4, 8, 16, 32}
+	nets := []struct {
+		name   string
+		planes int
+		pick   func(topo.NetworkSet) *topo.Topology
+	}{
+		{"serial low-bw", 1, func(s topo.NetworkSet) *topo.Topology { return s.SerialLow }},
+		{"parallel 2x", 2, func(s topo.NetworkSet) *topo.Topology { return s.ParallelHomo }},
+		{"parallel 4x", 4, func(s topo.NetworkSet) *topo.Topology { return s.ParallelHomo }},
+	}
+	if p.Scale == ScaleFull {
+		nets = append(nets, struct {
+			name   string
+			planes int
+			pick   func(topo.NetworkSet) *topo.Topology
+		}{"parallel 8x", 8, func(s topo.NetworkSet) *topo.Topology { return s.ParallelHomo }})
+	}
+
+	t := Table{
+		ID:    "fig6c",
+		Title: "Single-path vs multi-path permutation throughput (paper Fig. 6c)",
+		Note: fmt.Sprintf("k=%d fat tree, MPTCP+KSP; normalized to saturated serial low-bw; "+
+			"circled point = first K reaching 95%% of the plane count", k),
+		Header: append([]string{"network"}, func() []string {
+			h := make([]string, len(ks))
+			for i, kk := range ks {
+				h[i] = fmt.Sprintf("K=%d", kk)
+			}
+			return h
+		}()...),
+	}
+
+	rng := rand.New(rand.NewSource(p.Seed))
+	var base float64
+	for _, net := range nets {
+		set := topo.FatTreeSet(k, net.planes, 100)
+		tp := net.pick(set)
+		cs := workload.PermutationCommodities(tp, 100, rng)
+		vals := kspSweep(tp, cs, ks, 0.08, p.Seed)
+		if net.planes == 1 {
+			base = vals[len(vals)-1] // saturated serial low-bw
+		}
+		row := []string{net.name}
+		circled := false
+		for _, v := range vals {
+			norm := v / base
+			cell := f2(norm)
+			if !circled && norm >= 0.95*float64(net.planes) {
+				cell += "*"
+				circled = true
+			}
+			row = append(row, cell)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+func runFig7(p Params) Table {
+	sw, deg, hps := jfSize(p.Scale)
+	planeCounts := []int{2, 4, 8}
+	eps := 0.08
+
+	ideal := func(tp *topo.Topology) float64 {
+		g, cs := workload.RackAllToAll(tp, 10)
+		return mcf.Free(g, cs, mcf.Options{Epsilon: eps}).Lambda
+	}
+
+	baseSet := topo.JellyfishSet(sw, deg, hps, 2, 100, p.Seed)
+	base := ideal(baseSet.SerialLow)
+
+	t := Table{
+		ID:    "fig7",
+		Title: "Ideal rack-level all-to-all throughput on Jellyfish (paper Fig. 7)",
+		Note: fmt.Sprintf("%d racks, degree %d; no path constraint (network-core capacity); "+
+			"normalized to serial low-bw", sw, deg),
+		Header: []string{"network", "planes", "throughput(norm)", "vs serial high"},
+	}
+	t.Rows = append(t.Rows, []string{"serial low-bw", "1", f2(1.0), ""})
+	for _, n := range planeCounts {
+		set := topo.JellyfishSet(sw, deg, hps, n, 100, p.Seed)
+		high := ideal(set.SerialHigh)
+		het := ideal(set.ParallelHetero)
+		t.Rows = append(t.Rows, []string{"serial high-bw", fmt.Sprintf("(%dx speed)", n), f2(high / base), f2(1.0)})
+		t.Rows = append(t.Rows, []string{"parallel heterogeneous", fmt.Sprint(n), f2(het / base), f2(het / high)})
+	}
+	return t
+}
+
+// spliceKSP computes host-to-host K-shortest path sets for many
+// commodities cheaply by running Yen between ToR pairs once per plane and
+// splicing host uplinks/downlinks on. Exact for host-level KSP because a
+// host's first and last hop are forced on every plane.
+type spliceKSP struct {
+	tp    *topo.Topology
+	k     int
+	seed  int64
+	masks map[int32][]bool
+	cache map[[3]int64][]graph.Path // (torSrc, torDst, plane) -> switch paths
+}
+
+func newSpliceKSP(tp *topo.Topology, k int, seed int64) *spliceKSP {
+	masks := make(map[int32][]bool, tp.Planes)
+	for plane := 0; plane < tp.Planes; plane++ {
+		mask := make([]bool, tp.G.NumLinks())
+		for i := 0; i < tp.G.NumLinks(); i++ {
+			if pl := tp.G.Link(graph.LinkID(i)).Plane; pl >= 0 && pl != int32(plane) {
+				mask[i] = true
+			}
+		}
+		masks[int32(plane)] = mask
+	}
+	return &spliceKSP{tp: tp, k: k, seed: seed, masks: masks, cache: map[[3]int64][]graph.Path{}}
+}
+
+func (s *spliceKSP) torPaths(torSrc, torDst graph.NodeID, plane int32) []graph.Path {
+	key := [3]int64{int64(torSrc), int64(torDst), int64(plane)}
+	if ps, ok := s.cache[key]; ok {
+		return ps
+	}
+	var ps []graph.Path
+	if torSrc != torDst {
+		// Overshoot so host-level tie shuffling samples from (nearly)
+		// complete equal-length groups.
+		ps = graph.KShortestPathsMasked(s.tp.G, torSrc, torDst, s.k+8, s.masks[plane])
+	}
+	s.cache[key] = ps
+	return ps
+}
+
+// paths returns up to k host-level paths for (src, dst), interleaved
+// across planes by length.
+func (s *spliceKSP) paths(src, dst graph.NodeID) []graph.Path {
+	var all []graph.Path
+	hs, hd := int(src), int(dst)
+	for plane := 0; plane < s.tp.Planes; plane++ {
+		up := s.tp.Uplinks[hs][plane]
+		down := s.tp.Downlinks[hd][plane]
+		torSrc := s.tp.ToR[hs][plane]
+		torDst := s.tp.ToR[hd][plane]
+		if torSrc == torDst {
+			all = append(all, graph.Path{Links: []graph.LinkID{up, down}})
+			continue
+		}
+		for _, mid := range s.torPaths(torSrc, torDst, int32(plane)) {
+			links := make([]graph.LinkID, 0, len(mid.Links)+2)
+			links = append(links, up)
+			links = append(links, mid.Links...)
+			links = append(links, down)
+			all = append(all, graph.Path{Links: links})
+		}
+	}
+	sortPathsByLen(all)
+	rng := rand.New(rand.NewSource(s.seed + int64(src)*1_000_003 + int64(dst)))
+	route.ShuffleTies(all, rng)
+	all = route.InterleavePlanes(s.tp.G, all)
+	if len(all) > s.k {
+		all = all[:s.k]
+	}
+	return all
+}
+
+func sortPathsByLen(ps []graph.Path) {
+	// insertion sort: path lists are short and mostly ordered
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].Len() < ps[j-1].Len(); j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+// runJellyfishKSP runs fig8a/fig8b: a pattern routed over 8-way KSP.
+func runJellyfishKSP(id, title string, p Params, allToAll bool) Table {
+	sw, deg, hps := jfSize(p.Scale)
+	const kWays = 8
+	planeCounts := []int{2, 4, 8}
+	eps := 0.08
+
+	measure := func(tp *topo.Topology) float64 {
+		var cs []route.Commodity
+		if allToAll {
+			cs = workload.AllToAllCommodities(tp, 100.0/float64(tp.NumHosts()-1))
+		} else {
+			rng := rand.New(rand.NewSource(p.Seed))
+			cs = workload.PermutationCommodities(tp, 100, rng)
+		}
+		sp := newSpliceKSP(tp, kWays, p.Seed)
+		paths := make([][]graph.Path, len(cs))
+		for i, c := range cs {
+			paths[i] = sp.paths(c.Src, c.Dst)
+		}
+		return mcf.FixedPaths(tp.G, cs, paths, mcf.Options{Epsilon: eps}).Lambda
+	}
+
+	baseSet := topo.JellyfishSet(sw, deg, hps, 2, 100, p.Seed)
+	base := measure(baseSet.SerialLow)
+
+	t := Table{
+		ID: id, Title: title,
+		Note: fmt.Sprintf("Jellyfish %dsw x (%d hosts + deg %d), default %d-way KSP; normalized to serial low-bw",
+			sw, hps, deg, kWays),
+		Header: []string{"network", "planes", "throughput(norm)"},
+	}
+	t.Rows = append(t.Rows, []string{"serial low-bw", "1", f2(1.0)})
+	for _, n := range planeCounts {
+		set := topo.JellyfishSet(sw, deg, hps, n, 100, p.Seed)
+		homo := measure(set.ParallelHomo)
+		het := measure(set.ParallelHetero)
+		t.Rows = append(t.Rows, []string{"parallel homogeneous", fmt.Sprint(n), f2(homo / base)})
+		t.Rows = append(t.Rows, []string{"parallel heterogeneous", fmt.Sprint(n), f2(het / base)})
+	}
+	high := measure(baseSet.SerialHigh)
+	t.Rows = append(t.Rows, []string{"serial high-bw", "(2x speed)", f2(high / base)})
+	return t
+}
+
+func runFig8a(p Params) Table {
+	return runJellyfishKSP("fig8a", "All-to-all throughput, 8-way KSP (paper Fig. 8a)", p, true)
+}
+
+func runFig8b(p Params) Table {
+	return runJellyfishKSP("fig8b", "Permutation throughput, 8-way KSP (paper Fig. 8b)", p, false)
+}
+
+func runFig8c(p Params) Table {
+	sw, deg, hps := jfSize(p.Scale)
+	ks := []int{1, 2, 4, 8, 16, 32}
+	nets := []struct {
+		name   string
+		planes int
+		hetero bool
+	}{
+		{"serial low-bw", 1, false},
+		{"parallel homo 2x", 2, false},
+		{"parallel homo 4x", 4, false},
+		{"parallel hetero 4x", 4, true},
+	}
+
+	t := Table{
+		ID:    "fig8c",
+		Title: "Multipath performance scaling on Jellyfish (paper Fig. 8c)",
+		Note:  "permutation traffic; normalized to saturated serial low-bw; * = first K at 95% of plane count",
+		Header: append([]string{"network"}, func() []string {
+			h := make([]string, len(ks))
+			for i, kk := range ks {
+				h[i] = fmt.Sprintf("K=%d", kk)
+			}
+			return h
+		}()...),
+	}
+
+	var base float64
+	for _, net := range nets {
+		set := topo.JellyfishSet(sw, deg, hps, max(net.planes, 2), 100, p.Seed)
+		tp := set.SerialLow
+		if net.planes > 1 {
+			if net.hetero {
+				tp = set.ParallelHetero
+			} else {
+				tp = set.ParallelHomo
+			}
+		}
+		rng := rand.New(rand.NewSource(p.Seed))
+		cs := workload.PermutationCommodities(tp, 100, rng)
+		vals := kspSweep(tp, cs, ks, 0.08, p.Seed)
+		if net.planes == 1 {
+			base = vals[len(vals)-1]
+		}
+		row := []string{net.name}
+		circled := false
+		for _, v := range vals {
+			norm := v / base
+			cell := f2(norm)
+			if !circled && norm >= 0.95*float64(net.planes) {
+				cell += "*"
+				circled = true
+			}
+			row = append(row, cell)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

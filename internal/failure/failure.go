@@ -1,0 +1,133 @@
+// Package failure implements the paper's fault-tolerance analysis (§5.4,
+// Figure 14): knock out random fractions of inter-switch cables and
+// measure how the average shortest-path hop count between hosts degrades.
+// A P-Net's multiple planes keep short paths alive far longer than a
+// serial network's single plane.
+package failure
+
+import (
+	"math/rand"
+
+	"pnet/internal/graph"
+	"pnet/internal/topo"
+)
+
+// Config controls a hop-count degradation sweep.
+type Config struct {
+	// Fractions lists cable-failure rates to evaluate (e.g. 0, 0.1, ...).
+	Fractions []float64
+	// Pairs is the number of random host pairs sampled per trial.
+	// Zero selects 2000.
+	Pairs int
+	// Trials averages over this many random failure draws. Zero selects 3.
+	Trials int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+func (c Config) pairs() int {
+	if c.Pairs == 0 {
+		return 2000
+	}
+	return c.Pairs
+}
+
+func (c Config) trials() int {
+	if c.Trials == 0 {
+		return 3
+	}
+	return c.Trials
+}
+
+// Point is one measurement of a sweep.
+type Point struct {
+	Fraction float64
+	// AvgHops is the mean host-to-host shortest-path hop count over
+	// reachable sampled pairs (min across planes).
+	AvgHops float64
+	// Unreachable is the mean fraction of sampled pairs with no
+	// surviving path.
+	Unreachable float64
+}
+
+// HopCountSweep measures average shortest-path hops under random
+// inter-switch cable failures. Failing a cable takes down both directed
+// links; host uplinks never fail (the paper fails network links).
+func HopCountSweep(t *topo.Topology, cfg Config) []Point {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pairs := samplePairs(t, cfg.pairs(), rng)
+	cables := interSwitchCables(t)
+
+	out := make([]Point, 0, len(cfg.Fractions))
+	for _, frac := range cfg.Fractions {
+		var hops, unreach float64
+		for trial := 0; trial < cfg.trials(); trial++ {
+			g := t.G.Clone()
+			failCables(g, cables, frac, rng)
+			avg, bad := graph.AvgShortestHops(g, pairs)
+			hops += avg
+			unreach += float64(bad) / float64(len(pairs))
+		}
+		out = append(out, Point{
+			Fraction:    frac,
+			AvgHops:     hops / float64(cfg.trials()),
+			Unreachable: unreach / float64(cfg.trials()),
+		})
+	}
+	return out
+}
+
+// samplePairs draws distinct random (src, dst) host pairs.
+func samplePairs(t *topo.Topology, n int, rng *rand.Rand) [][2]graph.NodeID {
+	hosts := t.Hosts
+	maxPairs := len(hosts) * (len(hosts) - 1)
+	if n > maxPairs {
+		n = maxPairs
+	}
+	pairs := make([][2]graph.NodeID, 0, n)
+	seen := make(map[[2]graph.NodeID]bool, n)
+	for len(pairs) < n {
+		a := hosts[rng.Intn(len(hosts))]
+		b := hosts[rng.Intn(len(hosts))]
+		if a == b {
+			continue
+		}
+		p := [2]graph.NodeID{a, b}
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		pairs = append(pairs, p)
+	}
+	return pairs
+}
+
+// interSwitchCables groups the topology's inter-switch directed links
+// into duplex cables.
+func interSwitchCables(t *topo.Topology) [][2]graph.LinkID {
+	var cables [][2]graph.LinkID
+	seen := make(map[graph.LinkID]bool)
+	for _, id := range t.InterSwitchLinks() {
+		if seen[id] {
+			continue
+		}
+		rid, ok := t.G.ReverseLink(id)
+		if !ok {
+			continue
+		}
+		seen[id] = true
+		seen[rid] = true
+		cables = append(cables, [2]graph.LinkID{id, rid})
+	}
+	return cables
+}
+
+// failCables takes down a random fraction of cables (both directions).
+func failCables(g *graph.Graph, cables [][2]graph.LinkID, frac float64, rng *rand.Rand) {
+	n := int(float64(len(cables))*frac + 0.5)
+	perm := rng.Perm(len(cables))
+	for _, idx := range perm[:n] {
+		g.SetLinkUp(cables[idx][0], false)
+		g.SetLinkUp(cables[idx][1], false)
+	}
+}

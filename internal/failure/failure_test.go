@@ -1,0 +1,93 @@
+package failure
+
+import (
+	"testing"
+
+	"pnet/internal/graph"
+	"pnet/internal/topo"
+)
+
+func TestHopCountSweepBaseline(t *testing.T) {
+	set := topo.ScaledJellyfish(16, 1, 100, 3)
+	pts := HopCountSweep(set.SerialLow, Config{
+		Fractions: []float64{0},
+		Pairs:     200,
+		Trials:    1,
+		Seed:      1,
+	})
+	if len(pts) != 1 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Unreachable != 0 {
+		t.Errorf("unreachable at 0%% failures: %v", pts[0].Unreachable)
+	}
+	// Host-to-host in a Jellyfish: at least host-tor-tor-host = 3 links.
+	if pts[0].AvgHops < 3 {
+		t.Errorf("avg hops = %v, want >= 3", pts[0].AvgHops)
+	}
+}
+
+func TestHopCountMonotoneDegradation(t *testing.T) {
+	set := topo.ScaledJellyfish(16, 1, 100, 3)
+	pts := HopCountSweep(set.SerialLow, Config{
+		Fractions: []float64{0, 0.2, 0.4},
+		Pairs:     200,
+		Trials:    3,
+		Seed:      1,
+	})
+	if pts[2].AvgHops < pts[0].AvgHops {
+		t.Errorf("hops decreased under failures: %v -> %v", pts[0].AvgHops, pts[2].AvgHops)
+	}
+}
+
+func TestParallelDegradesLessThanSerial(t *testing.T) {
+	// The Figure 14 headline: at 40% failures, a 4-plane homogeneous
+	// P-Net loses far fewer short paths than the serial network.
+	set := topo.ScaledJellyfish(24, 4, 100, 5)
+	cfg := Config{Fractions: []float64{0, 0.4}, Pairs: 300, Trials: 3, Seed: 9}
+
+	serial := HopCountSweep(set.SerialLow, cfg)
+	parallel := HopCountSweep(set.ParallelHomo, cfg)
+
+	serialGrowth := serial[1].AvgHops / serial[0].AvgHops
+	parallelGrowth := parallel[1].AvgHops / parallel[0].AvgHops
+	if parallelGrowth >= serialGrowth {
+		t.Errorf("parallel growth %.3f >= serial growth %.3f", parallelGrowth, serialGrowth)
+	}
+	if parallel[1].Unreachable > serial[1].Unreachable {
+		t.Errorf("parallel unreachable %.3f > serial %.3f",
+			parallel[1].Unreachable, serial[1].Unreachable)
+	}
+}
+
+func TestHeterogeneousStartsShorter(t *testing.T) {
+	// Heterogeneous planes offer shorter min paths at zero failures.
+	set := topo.ScaledJellyfish(24, 4, 100, 5)
+	cfg := Config{Fractions: []float64{0}, Pairs: 300, Trials: 1, Seed: 2}
+	homo := HopCountSweep(set.ParallelHomo, cfg)
+	hetero := HopCountSweep(set.ParallelHetero, cfg)
+	if hetero[0].AvgHops >= homo[0].AvgHops {
+		t.Errorf("hetero avg hops %.3f >= homo %.3f", hetero[0].AvgHops, homo[0].AvgHops)
+	}
+}
+
+func TestSweepDeterministicForSeed(t *testing.T) {
+	set := topo.ScaledJellyfish(16, 2, 100, 3)
+	cfg := Config{Fractions: []float64{0.3}, Pairs: 100, Trials: 2, Seed: 42}
+	a := HopCountSweep(set.ParallelHomo, cfg)
+	b := HopCountSweep(set.ParallelHomo, cfg)
+	if a[0].AvgHops != b[0].AvgHops || a[0].Unreachable != b[0].Unreachable {
+		t.Error("sweep not deterministic for fixed seed")
+	}
+}
+
+func TestOriginalGraphUntouched(t *testing.T) {
+	set := topo.ScaledJellyfish(16, 1, 100, 3)
+	tp := set.SerialLow
+	HopCountSweep(tp, Config{Fractions: []float64{0.5}, Pairs: 50, Trials: 1, Seed: 1})
+	for i := 0; i < tp.G.NumLinks(); i++ {
+		if !tp.G.Link(graph.LinkID(i)).Up {
+			t.Fatal("sweep modified the original topology")
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package graph provides the directed multigraph and path algorithms that
+// underlie every topology in this repository.
+//
+// A Graph is a static set of nodes connected by directed links. Links carry
+// a capacity (in Gb/s) and an administrative up/down state so that the
+// failure-analysis experiments can knock links out without rebuilding the
+// topology. Nodes carry a Transit flag: end hosts are non-transit, which
+// prevents any path-finding algorithm from relaying traffic through a host —
+// the defining forwarding constraint of a Parallel Dataplane Network, where
+// a packet that has entered one plane may not hop through a host into
+// another plane.
+//
+// All algorithms in this package treat the graph as unweighted (hop count
+// metric), matching the shortest-path and K-shortest-path routing used in
+// the paper's evaluation.
+package graph
+
+import "fmt"
+
+// NodeID identifies a node within a Graph.
+type NodeID int32
+
+// LinkID identifies a directed link within a Graph.
+type LinkID int32
+
+// Link is a directed, capacitated edge.
+type Link struct {
+	ID       LinkID
+	Src, Dst NodeID
+	// Capacity is the link speed in Gb/s.
+	Capacity float64
+	// Plane tags which dataplane the link belongs to. Host uplinks carry
+	// the plane they attach to; links of single-plane (serial) networks
+	// use plane 0. A value of -1 means "not plane-specific".
+	Plane int32
+	// Up reports the administrative state. Down links are invisible to
+	// all path algorithms.
+	Up bool
+}
+
+// Graph is a directed multigraph. The zero value is unusable; create one
+// with New.
+type Graph struct {
+	transit []bool
+	links   []Link
+	out     [][]LinkID
+	in      [][]LinkID
+}
+
+// New returns an empty graph with n nodes, all transit-capable.
+func New(n int) *Graph {
+	return &Graph{
+		transit: newBools(n, true),
+		out:     make([][]LinkID, n),
+		in:      make([][]LinkID, n),
+	}
+}
+
+func newBools(n int, v bool) []bool {
+	b := make([]bool, n)
+	for i := range b {
+		b[i] = v
+	}
+	return b
+}
+
+// AddNode appends a node and returns its ID.
+func (g *Graph) AddNode(transit bool) NodeID {
+	g.transit = append(g.transit, transit)
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return NodeID(len(g.transit) - 1)
+}
+
+// AddLink adds a directed link from src to dst and returns its ID.
+// The link starts in the up state.
+func (g *Graph) AddLink(src, dst NodeID, capacity float64, plane int32) LinkID {
+	if src == dst {
+		panic(fmt.Sprintf("graph: self-loop at node %d", src))
+	}
+	id := LinkID(len(g.links))
+	g.links = append(g.links, Link{
+		ID: id, Src: src, Dst: dst, Capacity: capacity, Plane: plane, Up: true,
+	})
+	g.out[src] = append(g.out[src], id)
+	g.in[dst] = append(g.in[dst], id)
+	return id
+}
+
+// AddDuplex adds a pair of directed links between a and b (one in each
+// direction) and returns their IDs.
+func (g *Graph) AddDuplex(a, b NodeID, capacity float64, plane int32) (ab, ba LinkID) {
+	return g.AddLink(a, b, capacity, plane), g.AddLink(b, a, capacity, plane)
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.transit) }
+
+// NumLinks returns the number of directed links, including down links.
+func (g *Graph) NumLinks() int { return len(g.links) }
+
+// Link returns the link with the given ID.
+func (g *Graph) Link(id LinkID) Link { return g.links[id] }
+
+// OutLinks returns the IDs of links leaving node n, including down links.
+func (g *Graph) OutLinks(n NodeID) []LinkID { return g.out[n] }
+
+// InLinks returns the IDs of links entering node n, including down links.
+func (g *Graph) InLinks(n NodeID) []LinkID { return g.in[n] }
+
+// Transit reports whether node n may forward traffic (false for end hosts).
+func (g *Graph) Transit(n NodeID) bool { return g.transit[n] }
+
+// SetTransit sets the transit capability of node n.
+func (g *Graph) SetTransit(n NodeID, transit bool) { g.transit[n] = transit }
+
+// SetLinkUp sets the administrative state of a link.
+func (g *Graph) SetLinkUp(id LinkID, up bool) { g.links[id].Up = up }
+
+// SetCapacity overwrites the capacity of a link. Used to derive "serial
+// high-bandwidth" networks from their low-bandwidth twins.
+func (g *Graph) SetCapacity(id LinkID, capacity float64) { g.links[id].Capacity = capacity }
+
+// ScaleCapacities multiplies every link capacity by f.
+func (g *Graph) ScaleCapacities(f float64) {
+	for i := range g.links {
+		g.links[i].Capacity *= f
+	}
+}
+
+// Clone returns a deep copy of the graph. Failure experiments clone a
+// topology before tearing links down.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		transit: append([]bool(nil), g.transit...),
+		links:   append([]Link(nil), g.links...),
+		out:     make([][]LinkID, len(g.out)),
+		in:      make([][]LinkID, len(g.in)),
+	}
+	for i := range g.out {
+		c.out[i] = append([]LinkID(nil), g.out[i]...)
+	}
+	for i := range g.in {
+		c.in[i] = append([]LinkID(nil), g.in[i]...)
+	}
+	return c
+}
+
+// ReverseLink returns the link running opposite to id (same endpoints and
+// plane, reversed direction). ok is false if none exists. Topologies built
+// with AddDuplex always have one; transports use it to route ACKs back
+// along a data path.
+func (g *Graph) ReverseLink(id LinkID) (LinkID, bool) {
+	l := g.links[id]
+	for _, rid := range g.out[l.Dst] {
+		r := g.links[rid]
+		if r.Dst == l.Src && r.Plane == l.Plane {
+			return rid, true
+		}
+	}
+	return 0, false
+}
+
+// ReversePath returns the hop-by-hop reverse of p. ok is false if any link
+// lacks a reverse twin.
+func ReversePath(g *Graph, p Path) (Path, bool) {
+	links := make([]LinkID, len(p.Links))
+	for i, id := range p.Links {
+		rid, ok := g.ReverseLink(id)
+		if !ok {
+			return Path{}, false
+		}
+		links[len(p.Links)-1-i] = rid
+	}
+	return Path{Links: links}, true
+}

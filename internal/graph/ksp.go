@@ -1,0 +1,169 @@
+package graph
+
+import "container/heap"
+
+// KShortestPaths returns up to k loopless shortest paths from src to dst in
+// increasing hop-count order, using Yen's algorithm over unit link weights.
+// Ties between equal-length paths are broken deterministically by link
+// insertion order, so results are reproducible for a fixed topology.
+//
+// In a P-Net the planes are disjoint except at hosts and hosts never
+// forward, so every returned path is confined to a single plane; running
+// KSP on the combined multi-plane graph therefore yields exactly the
+// paper's "K shortest paths across all dataplanes".
+func KShortestPaths(g *Graph, src, dst NodeID, k int) []Path {
+	return KShortestPathsMasked(g, src, dst, k, nil)
+}
+
+// KShortestPathsMasked is KShortestPaths restricted to links where
+// banned[link] is false. banned may be nil. It is used to confine the
+// search to a single dataplane.
+func KShortestPathsMasked(g *Graph, src, dst NodeID, k int, banned []bool) []Path {
+	if k <= 0 {
+		return nil
+	}
+	baseline := banned
+	if baseline == nil {
+		baseline = make([]bool, g.NumLinks())
+	}
+	first, ok := shortestMasked(g, src, dst, baseline, nil)
+	if !ok {
+		return nil
+	}
+	result := []Path{first}
+	seen := map[string]bool{first.key(): true}
+	var candidates candidateHeap
+
+	bannedLinks := append([]bool(nil), baseline...)
+	bannedNodes := make([]bool, g.NumNodes())
+
+	for len(result) < k {
+		prev := result[len(result)-1]
+		prevNodes := prev.Nodes(g)
+		// Spur from each node of the previous path except the last.
+		for i := 0; i < len(prev.Links); i++ {
+			spurNode := prevNodes[i]
+			rootLinks := prev.Links[:i]
+
+			// Ban links that would recreate a known path with this root.
+			for _, p := range result {
+				if hasPrefix(p.Links, rootLinks) && len(p.Links) > i {
+					bannedLinks[p.Links[i]] = true
+				}
+			}
+			for _, c := range candidates {
+				if hasPrefix(c.path.Links, rootLinks) && len(c.path.Links) > i {
+					bannedLinks[c.path.Links[i]] = true
+				}
+			}
+			// Ban root-path nodes (except the spur node) to keep loopless.
+			for _, n := range prevNodes[:i] {
+				bannedNodes[n] = true
+			}
+
+			if spur, ok := shortestMasked(g, spurNode, dst, bannedLinks, bannedNodes); ok {
+				links := make([]LinkID, 0, len(rootLinks)+len(spur.Links))
+				links = append(links, rootLinks...)
+				links = append(links, spur.Links...)
+				cand := Path{Links: links}
+				if key := cand.key(); !seen[key] {
+					seen[key] = true
+					heap.Push(&candidates, candidate{path: cand})
+				}
+			}
+
+			copy(bannedLinks, baseline)
+			for j := range bannedNodes {
+				bannedNodes[j] = false
+			}
+		}
+		if candidates.Len() == 0 {
+			break
+		}
+		result = append(result, heap.Pop(&candidates).(candidate).path)
+	}
+	return result
+}
+
+func hasPrefix(links, prefix []LinkID) bool {
+	if len(links) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if links[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// shortestMasked is BFS shortest path honoring banned links and nodes.
+// Either mask may be nil.
+func shortestMasked(g *Graph, src, dst NodeID, bannedLinks, bannedNodes []bool) (Path, bool) {
+	if src == dst {
+		return Path{}, false
+	}
+	parent := make([]LinkID, g.NumNodes())
+	for i := range parent {
+		parent[i] = -1
+	}
+	visited := make([]bool, g.NumNodes())
+	visited[src] = true
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u != src && !g.Transit(u) {
+			continue
+		}
+		for _, id := range g.OutLinks(u) {
+			if bannedLinks != nil && bannedLinks[id] {
+				continue
+			}
+			l := g.Link(id)
+			if !l.Up || visited[l.Dst] {
+				continue
+			}
+			if bannedNodes != nil && bannedNodes[l.Dst] {
+				continue
+			}
+			visited[l.Dst] = true
+			parent[l.Dst] = id
+			if l.Dst == dst {
+				return tracePath(g, parent, src, dst), true
+			}
+			queue = append(queue, l.Dst)
+		}
+	}
+	return Path{}, false
+}
+
+type candidate struct {
+	path Path
+}
+
+type candidateHeap []candidate
+
+func (h candidateHeap) Len() int { return len(h) }
+func (h candidateHeap) Less(i, j int) bool {
+	if len(h[i].path.Links) != len(h[j].path.Links) {
+		return len(h[i].path.Links) < len(h[j].path.Links)
+	}
+	// Deterministic tie-break on link sequence.
+	a, b := h[i].path.Links, h[j].path.Links
+	for x := range a {
+		if a[x] != b[x] {
+			return a[x] < b[x]
+		}
+	}
+	return false
+}
+func (h candidateHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *candidateHeap) Push(x any)   { *h = append(*h, x.(candidate)) }
+func (h *candidateHeap) Pop() (out any) {
+	old := *h
+	n := len(old)
+	out = old[n-1]
+	*h = old[:n-1]
+	return
+}

@@ -1,0 +1,192 @@
+package graph
+
+// HopDistances returns the hop count of a shortest path from src to every
+// node, or -1 where no path exists. Non-transit nodes other than src are
+// never expanded, so distances "through" a host are not reported.
+func HopDistances(g *Graph, src NodeID) []int {
+	dist := make([]int, g.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u != src && !g.Transit(u) {
+			continue // hosts receive but do not forward
+		}
+		for _, id := range g.OutLinks(u) {
+			l := g.Link(id)
+			if !l.Up || dist[l.Dst] >= 0 {
+				continue
+			}
+			dist[l.Dst] = dist[u] + 1
+			queue = append(queue, l.Dst)
+		}
+	}
+	return dist
+}
+
+// ShortestPath returns one shortest path from src to dst by BFS, breaking
+// ties by link insertion order. ok is false when dst is unreachable.
+func ShortestPath(g *Graph, src, dst NodeID) (p Path, ok bool) {
+	if src == dst {
+		return Path{}, false
+	}
+	parent := make([]LinkID, g.NumNodes())
+	for i := range parent {
+		parent[i] = -1
+	}
+	visited := make([]bool, g.NumNodes())
+	visited[src] = true
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u != src && !g.Transit(u) {
+			continue
+		}
+		for _, id := range g.OutLinks(u) {
+			l := g.Link(id)
+			if !l.Up || visited[l.Dst] {
+				continue
+			}
+			visited[l.Dst] = true
+			parent[l.Dst] = id
+			if l.Dst == dst {
+				return tracePath(g, parent, src, dst), true
+			}
+			queue = append(queue, l.Dst)
+		}
+	}
+	return Path{}, false
+}
+
+func tracePath(g *Graph, parent []LinkID, src, dst NodeID) Path {
+	var rev []LinkID
+	for n := dst; n != src; {
+		id := parent[n]
+		rev = append(rev, id)
+		n = g.Link(id).Src
+	}
+	links := make([]LinkID, len(rev))
+	for i := range rev {
+		links[i] = rev[len(rev)-1-i]
+	}
+	return Path{Links: links}
+}
+
+// ShortestDAG returns, for every node u, the out-links of u that lie on
+// some shortest path from u to dst. This is the next-hop set an ECMP
+// router would install for destination dst.
+func ShortestDAG(g *Graph, dst NodeID) [][]LinkID {
+	// BFS backwards from dst over in-links.
+	dist := make([]int, g.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[dst] = 0
+	queue := []NodeID{dst}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, id := range g.InLinks(u) {
+			l := g.Link(id)
+			if !l.Up {
+				continue
+			}
+			// l.Src forwards into u; l.Src must be allowed to forward
+			// (transit) unless it is the origin of a path, which is always
+			// permitted, so no transit check on l.Src here. But u must be
+			// transit to extend the path beyond it, unless u == dst.
+			if u != dst && !g.Transit(u) {
+				continue
+			}
+			if dist[l.Src] < 0 {
+				dist[l.Src] = dist[u] + 1
+				queue = append(queue, l.Src)
+			}
+		}
+	}
+	dag := make([][]LinkID, g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		if dist[u] <= 0 {
+			continue
+		}
+		for _, id := range g.OutLinks(NodeID(u)) {
+			l := g.Link(id)
+			if !l.Up {
+				continue
+			}
+			if l.Dst != dst && !g.Transit(l.Dst) {
+				continue
+			}
+			if d := dist[l.Dst]; d >= 0 && d == dist[u]-1 {
+				dag[u] = append(dag[u], id)
+			}
+		}
+	}
+	return dag
+}
+
+// ECMPPath walks the shortest-path DAG toward dst starting at src, at each
+// node choosing among the equal-cost next hops by the flow hash. This
+// models per-flow ECMP: a given (flow hash, dst) pair is pinned to one
+// deterministic path. ok is false when dst is unreachable from src.
+func ECMPPath(g *Graph, dag [][]LinkID, src, dst NodeID, flowHash uint64) (Path, bool) {
+	if src == dst {
+		return Path{}, false
+	}
+	var links []LinkID
+	u := src
+	h := flowHash
+	for u != dst {
+		next := dag[u]
+		if len(next) == 0 {
+			return Path{}, false
+		}
+		h = splitmix64(h)
+		id := next[int(h%uint64(len(next)))]
+		links = append(links, id)
+		u = g.Link(id).Dst
+	}
+	return Path{Links: links}, true
+}
+
+// splitmix64 is the SplitMix64 mixing function, used to derive per-hop
+// hash decisions from a single per-flow hash the way a switch pipeline
+// re-hashes the five-tuple at every hop.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// AvgShortestHops returns the mean hop count of shortest paths over the
+// given (src, dst) pairs, ignoring unreachable pairs, and the number of
+// unreachable pairs. Used by the fault-tolerance analysis (Figure 14).
+func AvgShortestHops(g *Graph, pairs [][2]NodeID) (avg float64, unreachable int) {
+	// Group by source so each source needs one BFS.
+	bySrc := make(map[NodeID][]NodeID)
+	for _, p := range pairs {
+		bySrc[p[0]] = append(bySrc[p[0]], p[1])
+	}
+	var sum, n float64
+	for src, dsts := range bySrc {
+		dist := HopDistances(g, src)
+		for _, d := range dsts {
+			if dist[d] < 0 {
+				unreachable++
+				continue
+			}
+			sum += float64(dist[d])
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, unreachable
+	}
+	return sum / n, unreachable
+}

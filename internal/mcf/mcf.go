@@ -1,0 +1,326 @@
+// Package mcf computes maximum concurrent multicommodity flow — the
+// "ideal throughput" metric the paper obtains from an LP solver (§5.1.1).
+//
+// Given commodities (src, dst, demand), the max concurrent flow is the
+// largest λ such that every commodity can simultaneously ship λ×demand
+// through the network without exceeding any link capacity. Three routing
+// regimes are supported, matching the paper's methodology:
+//
+//   - Pinned: every commodity is restricted to a single given path (the
+//     model of per-flow ECMP). Solved exactly in closed form.
+//   - FixedPaths: every commodity may split flow across a given path set
+//     (the model of MPTCP over K shortest paths). Solved by the
+//     Garg–Könemann/Fleischer multiplicative-weights FPTAS, or exactly by
+//     the simplex solver for small instances.
+//   - Free: no path restriction (the paper's "ideal throughput under no
+//     path constraint", Figure 7). Garg–Könemann with a Dijkstra oracle.
+package mcf
+
+import (
+	"fmt"
+	"math"
+
+	"pnet/internal/graph"
+	"pnet/internal/route"
+)
+
+// Options configures the approximation solvers.
+type Options struct {
+	// Epsilon is the Garg–Könemann accuracy parameter; the returned λ is
+	// at least (1-O(ε)) times optimal. Zero selects the default 0.10.
+	Epsilon float64
+}
+
+func (o Options) epsilon() float64 {
+	if o.Epsilon <= 0 {
+		return 0.10
+	}
+	return o.Epsilon
+}
+
+// Result reports a max-concurrent-flow computation.
+type Result struct {
+	// Lambda is the concurrent throughput multiplier: every commodity can
+	// ship Lambda×Demand simultaneously.
+	Lambda float64
+	// TotalThroughput is Lambda times the sum of demands.
+	TotalThroughput float64
+	// Unrouted counts commodities that had no usable path. If nonzero,
+	// Lambda is necessarily 0 unless those commodities were skipped; they
+	// are included here so callers can detect partitioned inputs.
+	Unrouted int
+}
+
+func result(lambda float64, cs []route.Commodity, unrouted int) Result {
+	var sum float64
+	for _, c := range cs {
+		sum += c.Demand
+	}
+	return Result{Lambda: lambda, TotalThroughput: lambda * sum, Unrouted: unrouted}
+}
+
+// Pinned computes the exact max concurrent flow when each commodity is
+// pinned to one path: λ = min over links of capacity/load, where load sums
+// the demands of commodities crossing the link.
+func Pinned(g *graph.Graph, cs []route.Commodity, paths [][]graph.Path) Result {
+	if len(paths) != len(cs) {
+		panic("mcf: paths/commodities length mismatch")
+	}
+	load := make([]float64, g.NumLinks())
+	unrouted := 0
+	for i, ps := range paths {
+		if len(ps) == 0 {
+			unrouted++
+			continue
+		}
+		for _, l := range ps[0].Links {
+			load[l] += cs[i].Demand
+		}
+	}
+	if unrouted > 0 {
+		return result(0, cs, unrouted)
+	}
+	lambda := math.Inf(1)
+	for i, ld := range load {
+		if ld > 0 {
+			if r := g.Link(graph.LinkID(i)).Capacity / ld; r < lambda {
+				lambda = r
+			}
+		}
+	}
+	if math.IsInf(lambda, 1) {
+		lambda = 0
+	}
+	return result(lambda, cs, 0)
+}
+
+// FixedPaths computes max concurrent flow where each commodity may split
+// across its given path set, using Garg–Könemann. Commodities with an
+// empty path set make the instance infeasible (λ=0).
+func FixedPaths(g *graph.Graph, cs []route.Commodity, paths [][]graph.Path, opts Options) Result {
+	if len(paths) != len(cs) {
+		panic("mcf: paths/commodities length mismatch")
+	}
+	for _, ps := range paths {
+		if len(ps) == 0 {
+			return result(0, cs, countEmpty(paths))
+		}
+	}
+	oracle := func(j int, length []float64) (graph.Path, bool) {
+		best, bestLen := -1, math.Inf(1)
+		for pi, p := range paths[j] {
+			var l float64
+			for _, e := range p.Links {
+				l += length[e]
+			}
+			if l < bestLen {
+				best, bestLen = pi, l
+			}
+		}
+		return paths[j][best], true
+	}
+	lambda := adaptiveGK(g, cs, oracle, opts.epsilon())
+	return result(lambda, cs, 0)
+}
+
+// Free computes max concurrent flow with no path restriction ("ideal"
+// capacity), using Garg–Könemann with a lazy Dijkstra shortest-path oracle.
+func Free(g *graph.Graph, cs []route.Commodity, opts Options) Result {
+	cache := make([]cachedPath, len(cs))
+	eps := opts.epsilon()
+	oracle := func(j int, length []float64) (graph.Path, bool) {
+		c := &cache[j]
+		if c.valid {
+			cur := pathLen(c.path, length)
+			if cur <= (1+eps)*c.lenAtCompute {
+				c.lenAtCompute = math.Min(c.lenAtCompute, cur)
+				return c.path, true
+			}
+		}
+		p, d, ok := graph.WeightedShortestPath(g, cs[j].Src, cs[j].Dst, length)
+		if !ok {
+			return graph.Path{}, false
+		}
+		cache[j] = cachedPath{path: p, lenAtCompute: d, valid: true}
+		return p, true
+	}
+	// Probe reachability first so unroutable commodities are reported
+	// rather than looping forever.
+	unrouted := 0
+	for _, c := range cs {
+		if _, ok := graph.ShortestPath(g, c.Src, c.Dst); !ok {
+			unrouted++
+		}
+	}
+	if unrouted > 0 {
+		return result(0, cs, unrouted)
+	}
+	lambda := adaptiveGK(g, cs, oracle, eps)
+	return result(lambda, cs, 0)
+}
+
+type cachedPath struct {
+	path         graph.Path
+	lenAtCompute float64
+	valid        bool
+}
+
+func pathLen(p graph.Path, length []float64) float64 {
+	var l float64
+	for _, e := range p.Links {
+		l += length[e]
+	}
+	return l
+}
+
+// adaptiveGK wraps gargKonemann with demand rescaling. GK's accuracy
+// degrades when termination happens within the first few phases (λ much
+// smaller than the demand scale) and its runtime explodes when λ is much
+// larger than the demand scale. The driver first scales demands by an
+// upper bound on λ (source-capacity bound), then re-runs with the measured
+// estimate if too few phases completed for the requested accuracy.
+func adaptiveGK(g *graph.Graph, cs []route.Commodity, oracle func(int, []float64) (graph.Path, bool), eps float64) float64 {
+	// Upper bound: commodity j cannot exceed capOut(src)/demand.
+	ub := math.Inf(1)
+	for _, c := range cs {
+		var capOut float64
+		for _, id := range g.OutLinks(c.Src) {
+			if l := g.Link(id); l.Up {
+				capOut += l.Capacity
+			}
+		}
+		if b := capOut / c.Demand; b < ub {
+			ub = b
+		}
+	}
+	if math.IsInf(ub, 1) || ub <= 0 {
+		return 0
+	}
+	scale := ub
+	minPhases := int(math.Ceil(2 / eps))
+	var lambda float64
+	for attempt := 0; attempt < 12; attempt++ {
+		scaled := make([]route.Commodity, len(cs))
+		for i, c := range cs {
+			scaled[i] = c
+			scaled[i].Demand = c.Demand * scale
+		}
+		lam, phases := gargKonemann(g, scaled, oracle, eps)
+		lambda = lam * scale
+		if phases >= minPhases {
+			break
+		}
+		if lambda == 0 {
+			// The scale was so far above λ that the run stopped inside
+			// the first phase before touching every commodity. Back off
+			// geometrically until a full phase completes.
+			scale /= 1024
+			continue
+		}
+		// Too few phases: demands were scaled too high. Re-center the
+		// scale on the estimate so the next run completes ~T phases.
+		scale = lambda
+	}
+	return lambda
+}
+
+// gargKonemann runs the Fleischer variant of the Garg–Könemann max
+// concurrent flow algorithm. oracle(j, lengths) returns commodity j's
+// cheapest usable path under the given link lengths. It returns the
+// feasible concurrent ratio and the number of full phases completed.
+func gargKonemann(g *graph.Graph, cs []route.Commodity, oracle func(int, []float64) (graph.Path, bool), eps float64) (float64, int) {
+	m := 0
+	cap := make([]float64, g.NumLinks())
+	for i := 0; i < g.NumLinks(); i++ {
+		l := g.Link(graph.LinkID(i))
+		cap[i] = l.Capacity
+		if l.Up && l.Capacity > 0 {
+			m++
+		}
+	}
+	if m == 0 || len(cs) == 0 {
+		return 0, 0
+	}
+
+	delta := math.Pow(float64(m)/(1-eps), -1/eps)
+	length := make([]float64, g.NumLinks())
+	var dual float64 // D(l) = sum cap(e)*length(e)
+	for i := range length {
+		if cap[i] > 0 {
+			length[i] = delta / cap[i]
+			dual += delta
+		}
+	}
+
+	routed := make([]float64, len(cs)) // total flow shipped per commodity
+	scaleT := math.Log(1/delta) / math.Log(1+eps)
+	phases := 0
+
+	for dual < 1 {
+		for j := range cs {
+			remaining := cs[j].Demand
+			for remaining > 0 && dual < 1 {
+				p, ok := oracle(j, length)
+				if !ok {
+					return 0, phases
+				}
+				// Bottleneck capacity along the path.
+				bottleneck := math.Inf(1)
+				for _, e := range p.Links {
+					if cap[e] < bottleneck {
+						bottleneck = cap[e]
+					}
+				}
+				f := math.Min(remaining, bottleneck)
+				for _, e := range p.Links {
+					old := length[e]
+					length[e] = old * (1 + eps*f/cap[e])
+					dual += cap[e] * (length[e] - old)
+				}
+				routed[j] += f
+				remaining -= f
+			}
+		}
+		if dual < 1 {
+			phases++
+		}
+	}
+
+	lambda := math.Inf(1)
+	for j := range cs {
+		if r := routed[j] / cs[j].Demand; r < lambda {
+			lambda = r
+		}
+	}
+	return lambda / scaleT, phases
+}
+
+func countEmpty(paths [][]graph.Path) int {
+	n := 0
+	for _, ps := range paths {
+		if len(ps) == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks that a path set is usable for the given commodities:
+// endpoints match and every path is valid in g. It returns a descriptive
+// error for the first problem found.
+func Validate(g *graph.Graph, cs []route.Commodity, paths [][]graph.Path) error {
+	if len(paths) != len(cs) {
+		return fmt.Errorf("mcf: %d path sets for %d commodities", len(paths), len(cs))
+	}
+	for i, ps := range paths {
+		for pi, p := range ps {
+			if !p.Valid(g) {
+				return fmt.Errorf("mcf: commodity %d path %d invalid", i, pi)
+			}
+			if p.Src(g) != cs[i].Src || p.Dst(g) != cs[i].Dst {
+				return fmt.Errorf("mcf: commodity %d path %d endpoint mismatch", i, pi)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package mcf
+
+import (
+	"errors"
+	"math"
+
+	"pnet/internal/graph"
+	"pnet/internal/route"
+)
+
+// FixedPathsExact solves the same LP as FixedPaths exactly with a dense
+// primal simplex. Intended for small instances (tests, cross-validation of
+// the Garg–Könemann approximation); cost grows cubically with the number
+// of paths plus constraints.
+func FixedPathsExact(g *graph.Graph, cs []route.Commodity, paths [][]graph.Path) (Result, error) {
+	for _, ps := range paths {
+		if len(ps) == 0 {
+			return result(0, cs, countEmpty(paths)), nil
+		}
+	}
+	// Variable layout: x[0] = λ; then one flow variable per (commodity,
+	// path) in order.
+	nvar := 1
+	varBase := make([]int, len(cs))
+	for j, ps := range paths {
+		varBase[j] = nvar
+		nvar += len(ps)
+	}
+
+	// Links that can carry flow.
+	usedLinks := map[graph.LinkID]int{}
+	for _, ps := range paths {
+		for _, p := range ps {
+			for _, e := range p.Links {
+				if _, ok := usedLinks[e]; !ok {
+					usedLinks[e] = len(usedLinks)
+				}
+			}
+		}
+	}
+
+	mRows := len(cs) + len(usedLinks)
+	A := make([][]float64, mRows)
+	b := make([]float64, mRows)
+	for i := range A {
+		A[i] = make([]float64, nvar)
+	}
+	// Demand rows: λ·d_j - Σ_p x_{j,p} ≤ 0.
+	for j := range cs {
+		A[j][0] = cs[j].Demand
+		for pi := range paths[j] {
+			A[j][varBase[j]+pi] = -1
+		}
+		b[j] = 0
+	}
+	// Capacity rows: Σ x over paths crossing e ≤ cap(e).
+	for e, row := range usedLinks {
+		r := len(cs) + row
+		b[r] = g.Link(e).Capacity
+		for j, ps := range paths {
+			for pi, p := range ps {
+				for _, pe := range p.Links {
+					if pe == e {
+						A[r][varBase[j]+pi]++
+					}
+				}
+			}
+		}
+	}
+
+	obj := make([]float64, nvar)
+	obj[0] = 1
+	_, lambda, err := simplexMax(obj, A, b)
+	if err != nil {
+		return Result{}, err
+	}
+	return result(lambda, cs, 0), nil
+}
+
+var errUnbounded = errors.New("mcf: LP unbounded")
+var errIterations = errors.New("mcf: simplex iteration limit exceeded")
+
+// simplexMax maximizes c·x subject to A·x ≤ b, x ≥ 0 with b ≥ 0, using a
+// dense tableau and Bland's anti-cycling rule. It returns the optimal x
+// and objective.
+func simplexMax(c []float64, A [][]float64, b []float64) ([]float64, float64, error) {
+	const tol = 1e-9
+	m, n := len(A), len(c)
+	// Tableau columns: n structural + m slack + 1 rhs. Row m is -c (the
+	// objective row); basis starts as the slack identity.
+	width := n + m + 1
+	t := make([][]float64, m+1)
+	for i := 0; i < m; i++ {
+		t[i] = make([]float64, width)
+		copy(t[i], A[i])
+		t[i][n+i] = 1
+		t[i][width-1] = b[i]
+	}
+	t[m] = make([]float64, width)
+	for j := 0; j < n; j++ {
+		t[m][j] = -c[j]
+	}
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + i
+	}
+
+	maxIter := 200 * (m + n)
+	for iter := 0; ; iter++ {
+		if iter > maxIter {
+			return nil, 0, errIterations
+		}
+		// Bland: entering variable = lowest index with negative reduced cost.
+		enter := -1
+		for j := 0; j < n+m; j++ {
+			if t[m][j] < -tol {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			break // optimal
+		}
+		// Ratio test; Bland tie-break on lowest basis variable index.
+		leave, best := -1, math.Inf(1)
+		for i := 0; i < m; i++ {
+			if t[i][enter] > tol {
+				r := t[i][width-1] / t[i][enter]
+				if r < best-tol || (r < best+tol && (leave < 0 || basis[i] < basis[leave])) {
+					best, leave = r, i
+				}
+			}
+		}
+		if leave < 0 {
+			return nil, 0, errUnbounded
+		}
+		pivot(t, leave, enter)
+		basis[leave] = enter
+	}
+
+	x := make([]float64, n)
+	for i, bv := range basis {
+		if bv < n {
+			x[bv] = t[i][width-1]
+		}
+	}
+	return x, t[m][width-1], nil
+}
+
+func pivot(t [][]float64, row, col int) {
+	p := t[row][col]
+	for j := range t[row] {
+		t[row][j] /= p
+	}
+	for i := range t {
+		if i == row {
+			continue
+		}
+		f := t[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := range t[i] {
+			t[i][j] -= f * t[row][j]
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package metrics provides the summary statistics the paper reports:
+// means, medians, tail percentiles, empirical CDFs, and normalization
+// helpers for "relative to serial low-bandwidth" plots.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using linear
+// interpolation between closest ranks. It panics on an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("metrics: percentile of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return percentileSorted(s, p)
+}
+
+func percentileSorted(s []float64, p float64) float64 {
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean; it panics on an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("metrics: mean of empty slice")
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Summary bundles the statistics reported in the paper's tables.
+type Summary struct {
+	N            int
+	Mean, Median float64
+	P90, P99     float64
+	Min, Max     float64
+}
+
+// Summarize computes a Summary; it panics on an empty slice.
+func Summarize(xs []float64) Summary {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return Summary{
+		N:      len(s),
+		Mean:   Mean(s),
+		Median: percentileSorted(s, 50),
+		P90:    percentileSorted(s, 90),
+		P99:    percentileSorted(s, 99),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+	}
+}
+
+// Relative expresses each field of s as a fraction of the corresponding
+// field of base — the paper's Table 2 normalization.
+func (s Summary) Relative(base Summary) Summary {
+	div := func(a, b float64) float64 {
+		if b == 0 {
+			return math.NaN()
+		}
+		return a / b
+	}
+	return Summary{
+		N:      s.N,
+		Mean:   div(s.Mean, base.Mean),
+		Median: div(s.Median, base.Median),
+		P90:    div(s.P90, base.P90),
+		P99:    div(s.P99, base.P99),
+		Min:    div(s.Min, base.Min),
+		Max:    div(s.Max, base.Max),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g median=%.4g p90=%.4g p99=%.4g",
+		s.N, s.Mean, s.Median, s.P90, s.P99)
+}
+
+// CDF is an empirical cumulative distribution.
+type CDF struct {
+	xs []float64 // sorted
+}
+
+// NewCDF builds an empirical CDF from samples.
+func NewCDF(samples []float64) CDF {
+	xs := append([]float64(nil), samples...)
+	sort.Float64s(xs)
+	return CDF{xs: xs}
+}
+
+// N returns the sample count.
+func (c CDF) N() int { return len(c.xs) }
+
+// At returns P(X ≤ x).
+func (c CDF) At(x float64) float64 {
+	i := sort.SearchFloat64s(c.xs, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.xs))
+}
+
+// Quantile returns the smallest sample x with At(x) ≥ p (0 < p ≤ 1).
+func (c CDF) Quantile(p float64) float64 {
+	if len(c.xs) == 0 {
+		panic("metrics: quantile of empty CDF")
+	}
+	i := int(math.Ceil(p*float64(len(c.xs)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(c.xs) {
+		i = len(c.xs) - 1
+	}
+	return c.xs[i]
+}
+
+// Points returns up to n evenly spaced (x, P(X≤x)) pairs for plotting.
+func (c CDF) Points(n int) [][2]float64 {
+	if len(c.xs) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(c.xs) {
+		n = len(c.xs)
+	}
+	out := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (i + 1) * len(c.xs) / n
+		if idx > len(c.xs) {
+			idx = len(c.xs)
+		}
+		out = append(out, [2]float64{c.xs[idx-1], float64(idx) / float64(len(c.xs))})
+	}
+	return out
+}

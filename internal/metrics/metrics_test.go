@@ -1,0 +1,145 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentileBasics(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 50); got != 5 {
+		t.Errorf("P50 = %v, want 5", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentileEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{2, 4, 6}); got != 4 {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1) // 1..100
+	}
+	s := Summarize(xs)
+	if s.N != 100 || s.Min != 1 || s.Max != 100 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Mean != 50.5 || s.Median != 50.5 {
+		t.Errorf("mean/median = %v/%v", s.Mean, s.Median)
+	}
+	if s.P99 < 99 || s.P99 > 100 {
+		t.Errorf("p99 = %v", s.P99)
+	}
+}
+
+func TestRelative(t *testing.T) {
+	a := Summary{Mean: 80, Median: 50, P99: 90}
+	base := Summary{Mean: 100, Median: 100, P99: 100}
+	r := a.Relative(base)
+	if r.Mean != 0.8 || r.Median != 0.5 || r.P99 != 0.9 {
+		t.Errorf("relative = %+v", r)
+	}
+	if !math.IsNaN(a.Relative(Summary{}).Mean) {
+		t.Error("division by zero base not NaN")
+	}
+}
+
+func TestCDFAtAndQuantile(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if got := c.At(2); got != 0.5 {
+		t.Errorf("At(2) = %v", got)
+	}
+	if got := c.At(0.5); got != 0 {
+		t.Errorf("At(0.5) = %v", got)
+	}
+	if got := c.At(4); got != 1 {
+		t.Errorf("At(4) = %v", got)
+	}
+	if got := c.Quantile(0.5); got != 2 {
+		t.Errorf("Quantile(0.5) = %v", got)
+	}
+	if got := c.Quantile(1); got != 4 {
+		t.Errorf("Quantile(1) = %v", got)
+	}
+}
+
+func TestCDFQuantileAtInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 50+r.Intn(50))
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		c := NewCDF(xs)
+		// For every sample x: Quantile(At(x)) == x when x is unique-ish;
+		// weaker invariant: At(Quantile(p)) >= p for p in (0,1].
+		for i := 0; i < 10; i++ {
+			p := (float64(i) + 1) / 10
+			if c.At(c.Quantile(p)) < p-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[4][0] != 10 || pts[4][1] != 1 {
+		t.Errorf("last point = %v", pts[4])
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i][1] <= pts[i-1][1] {
+			t.Errorf("non-increasing probabilities: %v", pts)
+		}
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	if str := s.String(); str == "" {
+		t.Error("empty string")
+	}
+}

@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCDFN(t *testing.T) {
+	if got := NewCDF([]float64{1, 2, 3}).N(); got != 3 {
+		t.Errorf("N = %d", got)
+	}
+	if got := NewCDF(nil).N(); got != 0 {
+		t.Errorf("empty N = %d", got)
+	}
+}
+
+func TestCDFDoesNotAliasInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	c := NewCDF(xs)
+	xs[0] = 100
+	if c.Quantile(1) == 100 {
+		t.Error("CDF aliases caller's slice")
+	}
+}
+
+func TestEmptyCDFQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewCDF(nil).Quantile(0.5)
+}
+
+func TestSummaryPercentileConsistency(t *testing.T) {
+	// Median from Summarize must equal Percentile(xs, 50) for random data.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 10+rng.Intn(90))
+		for i := range xs {
+			xs[i] = rng.Float64() * 1000
+		}
+		s := Summarize(xs)
+		return s.Median == Percentile(xs, 50) &&
+			s.P99 == Percentile(xs, 99) &&
+			s.Min <= s.Median && s.Median <= s.Max
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointsSmallN(t *testing.T) {
+	c := NewCDF([]float64{5})
+	pts := c.Points(10)
+	if len(pts) != 1 || pts[0][0] != 5 || pts[0][1] != 1 {
+		t.Errorf("points = %v", pts)
+	}
+	if NewCDF(nil).Points(5) != nil {
+		t.Error("empty CDF points not nil")
+	}
+}

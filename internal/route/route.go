@@ -1,0 +1,220 @@
+// Package route computes the path selections studied in the paper:
+// per-flow ECMP (a single hash-pinned shortest path, possibly choosing a
+// dataplane at the host) and K-shortest-paths (the bounded multipath sets
+// fed to MPTCP). Both operate on a Topology's combined multi-plane graph,
+// where plane disjointness guarantees every path stays within one plane.
+package route
+
+import (
+	"math/rand"
+	"sort"
+
+	"pnet/internal/graph"
+)
+
+// Commodity is a traffic demand between two nodes.
+type Commodity struct {
+	Src, Dst graph.NodeID
+	// Demand is in the same units as link capacity (Gb/s). The
+	// max-concurrent-flow experiments use equal demands of 1 host
+	// bandwidth unit.
+	Demand float64
+}
+
+// ECMPPaths pins each commodity to a single path: at every hop the
+// shortest-path DAG's equal-cost next hops are hashed on the flow identity,
+// exactly as a switch ECMP pipeline (and, at the host, the hash across the
+// dataplane uplinks) would do. Commodity i uses flow hash seed+i. The
+// returned slice has one single-element path list per commodity; pairs
+// with no path get an empty list.
+func ECMPPaths(g *graph.Graph, cs []Commodity, seed uint64) [][]graph.Path {
+	dags := map[graph.NodeID][][]graph.LinkID{}
+	out := make([][]graph.Path, len(cs))
+	for i, c := range cs {
+		dag, ok := dags[c.Dst]
+		if !ok {
+			dag = graph.ShortestDAG(g, c.Dst)
+			dags[c.Dst] = dag
+		}
+		if p, ok := graph.ECMPPath(g, dag, c.Src, c.Dst, seed+uint64(i)*0x9e3779b97f4a7c15); ok {
+			out[i] = []graph.Path{p}
+		}
+	}
+	return out
+}
+
+// KSPPaths computes up to k shortest paths per commodity across all
+// dataplanes: Yen's algorithm runs within each plane, the per-plane lists
+// are merged in increasing length, and equal-length paths interleave
+// round-robin across planes. Interleaving matters for homogeneous P-Nets:
+// all planes offer identical path lengths, and a K-subflow MPTCP
+// connection should spread its subflows over planes rather than exhaust
+// one plane's path diversity first.
+func KSPPaths(g *graph.Graph, cs []Commodity, k int) [][]graph.Path {
+	masks := planeMasks(g)
+	out := make([][]graph.Path, len(cs))
+	for i, c := range cs {
+		out[i] = kspAcrossPlanes(g, masks, c.Src, c.Dst, k)
+	}
+	return out
+}
+
+// planeMasks returns, in increasing plane order, the banned-link masks
+// that confine a path search to each plane (links of other planes are
+// banned; untagged plane -1 links are allowed everywhere). The slice
+// ordering keeps all derived path computations deterministic.
+func planeMasks(g *graph.Graph) [][]bool {
+	maxPlane := int32(-1)
+	for i := 0; i < g.NumLinks(); i++ {
+		if p := g.Link(graph.LinkID(i)).Plane; p > maxPlane {
+			maxPlane = p
+		}
+	}
+	if maxPlane < 0 {
+		return nil
+	}
+	masks := make([][]bool, maxPlane+1)
+	for p := int32(0); p <= maxPlane; p++ {
+		mask := make([]bool, g.NumLinks())
+		for i := 0; i < g.NumLinks(); i++ {
+			if q := g.Link(graph.LinkID(i)).Plane; q >= 0 && q != p {
+				mask[i] = true
+			}
+		}
+		masks[p] = mask
+	}
+	return masks
+}
+
+func kspAcrossPlanes(g *graph.Graph, masks [][]bool, src, dst graph.NodeID, k int) []graph.Path {
+	if len(masks) <= 1 {
+		return graph.KShortestPaths(g, src, dst, k)
+	}
+	var all []graph.Path
+	for _, mask := range masks {
+		all = append(all, graph.KShortestPathsMasked(g, src, dst, k, mask)...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Len() < all[j].Len() })
+	all = InterleavePlanes(g, all)
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// KSPPathsSeeded is KSPPaths with per-commodity randomized tie-breaking:
+// within each group of equal-length candidate paths, ordering is shuffled
+// by a commodity-specific RNG before plane interleaving. Deterministic
+// Yen ordering makes every flow between nearby endpoints prefer the same
+// low-numbered switches; production multipath routing (and the paper's
+// simulator) decorrelates flows by hashing, which this reproduces.
+// Commodity i derives its randomness from seed+i, so runs are
+// reproducible.
+func KSPPathsSeeded(g *graph.Graph, cs []Commodity, k int, seed int64) [][]graph.Path {
+	masks := planeMasks(g)
+	out := make([][]graph.Path, len(cs))
+	for i, c := range cs {
+		out[i] = kspSeededOne(g, masks, c.Src, c.Dst, k, seed+int64(i)*0x9e3779b9)
+	}
+	return out
+}
+
+func kspSeededOne(g *graph.Graph, masks [][]bool, src, dst graph.NodeID, k int, seed int64) []graph.Path {
+	// Overshoot so that equal-length tie groups are (mostly) fully
+	// enumerated before sampling from them.
+	overshoot := k + 8
+	var all []graph.Path
+	if len(masks) == 0 {
+		all = graph.KShortestPaths(g, src, dst, overshoot)
+	}
+	for _, mask := range masks {
+		all = append(all, graph.KShortestPathsMasked(g, src, dst, overshoot, mask)...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Len() < all[j].Len() })
+	rng := rand.New(rand.NewSource(seed))
+	ShuffleTies(all, rng)
+	all = InterleavePlanes(g, all)
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// ShuffleTies randomly permutes paths within each run of equal lengths,
+// preserving the overall by-length ordering. Paths must be sorted by
+// length.
+func ShuffleTies(paths []graph.Path, rng *rand.Rand) {
+	for lo := 0; lo < len(paths); {
+		hi := lo + 1
+		for hi < len(paths) && paths[hi].Len() == paths[lo].Len() {
+			hi++
+		}
+		group := paths[lo:hi]
+		rng.Shuffle(len(group), func(i, j int) { group[i], group[j] = group[j], group[i] })
+		lo = hi
+	}
+}
+
+// InterleavePlanes stably reorders paths so that, within each group of
+// equal-length paths, planes alternate (plane 0, 1, 2, ..., 0, 1, ...).
+// Paths are assumed sorted by length, as returned by KShortestPaths.
+func InterleavePlanes(g *graph.Graph, paths []graph.Path) []graph.Path {
+	out := make([]graph.Path, 0, len(paths))
+	for lo := 0; lo < len(paths); {
+		hi := lo + 1
+		for hi < len(paths) && paths[hi].Len() == paths[lo].Len() {
+			hi++
+		}
+		out = append(out, interleaveGroup(g, paths[lo:hi])...)
+		lo = hi
+	}
+	return out
+}
+
+func interleaveGroup(g *graph.Graph, group []graph.Path) []graph.Path {
+	if len(group) <= 1 {
+		return group
+	}
+	byPlane := map[int32][]graph.Path{}
+	var planes []int32
+	for _, p := range group {
+		pl := p.Plane(g)
+		if _, ok := byPlane[pl]; !ok {
+			planes = append(planes, pl)
+		}
+		byPlane[pl] = append(byPlane[pl], p)
+	}
+	sort.Slice(planes, func(i, j int) bool { return planes[i] < planes[j] })
+	out := make([]graph.Path, 0, len(group))
+	for len(out) < len(group) {
+		for _, pl := range planes {
+			if ps := byPlane[pl]; len(ps) > 0 {
+				out = append(out, ps[0])
+				byPlane[pl] = ps[1:]
+			}
+		}
+	}
+	return out
+}
+
+// SinglePath returns one shortest path per commodity (the "low-latency"
+// interface of §3.4): in a heterogeneous P-Net this naturally picks the
+// plane with the fewest hops for each pair.
+func SinglePath(g *graph.Graph, cs []Commodity) [][]graph.Path {
+	out := make([][]graph.Path, len(cs))
+	for i, c := range cs {
+		if p, ok := graph.ShortestPath(g, c.Src, c.Dst); ok {
+			out[i] = []graph.Path{p}
+		}
+	}
+	return out
+}
+
+// PlaneSpread counts, for a path list, how many distinct planes it covers.
+func PlaneSpread(g *graph.Graph, paths []graph.Path) int {
+	seen := map[int32]bool{}
+	for _, p := range paths {
+		seen[p.Plane(g)] = true
+	}
+	return len(seen)
+}

@@ -1,0 +1,336 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"pnet/internal/graph"
+)
+
+// Handler consumes a packet that has reached the end of its route.
+type Handler interface {
+	HandlePacket(*Packet)
+}
+
+// Packet is a source-routed simulated packet. The transport layer fills
+// the Seq/Ack fields; the simulator only reads Size, Route, Hop, and
+// Deliver.
+type Packet struct {
+	// Size is the on-wire size in bytes.
+	Size int32
+	// Route is the full sequence of directed links host-to-host.
+	Route []graph.LinkID
+	// Hop indexes the link currently being traversed.
+	Hop int32
+	// Deliver receives the packet at the final node.
+	Deliver Handler
+
+	// Transport fields (opaque to the simulator).
+	Seq    int64 // data sequence, in packets
+	AckSeq int64 // cumulative ack, in packets
+	Aux    int64 // transport scratch (e.g. echoed timestamp)
+	// CE is the ECN congestion-experienced codepoint, set by a queue
+	// whose occupancy exceeds the marking threshold; ECE echoes it back
+	// to the sender on ACKs (set by the transport).
+	CE, ECE bool
+	// Trimmed marks a packet whose payload was cut to the header by an
+	// overflowing queue (NDP-style trimming) — the receiver learns of
+	// the loss immediately instead of inferring it from a timeout.
+	Trimmed bool
+
+	net  *Network
+	next *Packet // freelist
+}
+
+// act delivers the packet at the node it has propagated to; packets are
+// scheduled as pooled actor events to keep per-hop allocations at zero.
+func (p *Packet) act() { p.net.arrive(p) }
+
+// Config sets network-wide parameters.
+type Config struct {
+	// QueueBytes is each link queue's drop-tail capacity. Zero selects
+	// 100 full-size packets (150 kB), a common htsim configuration.
+	QueueBytes int32
+	// PropDelay is the per-link propagation delay. Zero selects 1 µs —
+	// the paper's assumption of ~200 m of fiber per switch hop (§5.2.1),
+	// which makes propagation dominate serialization for small packets.
+	PropDelay Time
+	// ECNThresholdBytes enables ECN marking: a packet entering a queue
+	// whose occupancy exceeds the threshold is marked CE, as in DCTCP's
+	// instantaneous-queue marking. Zero disables marking.
+	ECNThresholdBytes int32
+	// TrimToBytes enables NDP-style packet trimming: instead of dropping
+	// a packet that overflows a queue, the queue cuts it to this header
+	// size and forwards it (if even the header does not fit, the packet
+	// drops). Zero disables trimming. NDP additionally gives trimmed
+	// headers priority; this model keeps FIFO order, a documented
+	// simplification.
+	TrimToBytes int32
+}
+
+func (c Config) queueBytes() int32 {
+	if c.QueueBytes == 0 {
+		return 100 * 1500
+	}
+	return c.QueueBytes
+}
+
+func (c Config) propDelay() Time {
+	if c.PropDelay == 0 {
+		return Microsecond
+	}
+	return c.PropDelay
+}
+
+// TraceEvent identifies a packet lifecycle point for a Tracer.
+type TraceEvent int
+
+// Trace event kinds.
+const (
+	TraceEnqueue TraceEvent = iota // packet accepted by a queue
+	TraceDrop                      // packet lost to a full queue
+	TraceTrim                      // packet payload trimmed (NDP)
+	TraceDeliver                   // packet handed to its Deliver handler
+)
+
+// Tracer observes packet events, htsim-log style. Tracing is optional;
+// a nil tracer costs one branch per event.
+type Tracer interface {
+	PacketEvent(ev TraceEvent, p *Packet, link graph.LinkID)
+}
+
+// Network instantiates queues for every link of a graph and forwards
+// source-routed packets between them.
+type Network struct {
+	Eng    *Engine
+	G      *graph.Graph
+	queues []queue
+	free   *Packet
+
+	// Drops counts packets lost to full queues, by link.
+	Drops []int64
+
+	// Tracer, when set, observes every packet event.
+	Tracer Tracer
+}
+
+// NewNetwork builds a Network over g. Link rates come from the graph's
+// capacities (Gb/s).
+func NewNetwork(eng *Engine, g *graph.Graph, cfg Config) *Network {
+	n := &Network{
+		Eng:    eng,
+		G:      g,
+		queues: make([]queue, g.NumLinks()),
+		Drops:  make([]int64, g.NumLinks()),
+	}
+	for i := range n.queues {
+		l := g.Link(graph.LinkID(i))
+		if l.Capacity <= 0 {
+			panic(fmt.Sprintf("sim: link %d has capacity %v", i, l.Capacity))
+		}
+		n.queues[i] = queue{
+			net:      n,
+			id:       graph.LinkID(i),
+			psPerBit: 1000 / l.Capacity, // ps per bit at `Capacity` Gb/s
+			prop:     cfg.propDelay(),
+			capBytes: cfg.queueBytes(),
+			ecnMark:  cfg.ECNThresholdBytes,
+			trimTo:   cfg.TrimToBytes,
+		}
+	}
+	return n
+}
+
+// LinkStats are the per-link monitoring counters (§7 of the paper notes
+// that multi-dataplane monitoring must merge per-plane statistics; these
+// counters are the raw material).
+type LinkStats struct {
+	TxPackets int64
+	TxBytes   int64
+	Drops     int64
+	Marks     int64 // ECN CE marks applied
+	Trims     int64 // NDP payload trims applied
+	// Busy is cumulative transmission time; Busy/elapsed is utilization.
+	Busy Time
+}
+
+// Stats returns a link's counters.
+func (n *Network) Stats(id graph.LinkID) LinkStats {
+	q := &n.queues[id]
+	return LinkStats{
+		TxPackets: q.txPkts,
+		TxBytes:   q.txBytes,
+		Drops:     n.Drops[id],
+		Marks:     q.marks,
+		Trims:     q.trims,
+		Busy:      q.busyTime,
+	}
+}
+
+// Utilization returns a link's lifetime utilization in [0,1] at the
+// current simulated time.
+func (n *Network) Utilization(id graph.LinkID) float64 {
+	if n.Eng.Now() == 0 {
+		return 0
+	}
+	return n.queues[id].busyTime.Seconds() / n.Eng.Now().Seconds()
+}
+
+// PlaneBytes aggregates transmitted bytes per dataplane — the merged
+// cross-plane view a P-Net monitoring system needs.
+func (n *Network) PlaneBytes() map[int32]int64 {
+	out := map[int32]int64{}
+	for i := range n.queues {
+		plane := n.G.Link(graph.LinkID(i)).Plane
+		out[plane] += n.queues[i].txBytes
+	}
+	return out
+}
+
+// NewPacket returns a zeroed packet from the freelist.
+func (n *Network) NewPacket() *Packet {
+	if p := n.free; p != nil {
+		n.free = p.next
+		*p = Packet{net: n}
+		return p
+	}
+	return &Packet{net: n}
+}
+
+// Release returns a delivered or dropped packet to the freelist. Callers
+// must not retain the packet afterwards.
+func (n *Network) Release(p *Packet) {
+	p.next = n.free
+	n.free = p
+}
+
+// Send injects a packet at the head of its route. The packet must have a
+// non-empty Route, Hop 0, and a Deliver handler.
+func (n *Network) Send(p *Packet) {
+	if len(p.Route) == 0 || p.Deliver == nil {
+		panic("sim: packet without route or handler")
+	}
+	p.Hop = 0
+	n.queues[p.Route[0]].enqueue(p)
+}
+
+// QueueDepth reports the current occupancy, in bytes, of a link's queue
+// (including the packet in transmission).
+func (n *Network) QueueDepth(id graph.LinkID) int32 { return n.queues[id].bytes }
+
+// TotalDrops sums packet drops over all links.
+func (n *Network) TotalDrops() int64 {
+	var total int64
+	for _, d := range n.Drops {
+		total += d
+	}
+	return total
+}
+
+// arrive is called when a packet reaches the node at the end of link
+// Route[Hop]: it either forwards to the next queue or delivers.
+func (n *Network) arrive(p *Packet) {
+	if int(p.Hop) == len(p.Route)-1 {
+		if n.Tracer != nil {
+			n.Tracer.PacketEvent(TraceDeliver, p, p.Route[p.Hop])
+		}
+		p.Deliver.HandlePacket(p)
+		return
+	}
+	p.Hop++
+	n.queues[p.Route[p.Hop]].enqueue(p)
+}
+
+// queue is a drop-tail FIFO output queue feeding one directed link.
+type queue struct {
+	net      *Network
+	id       graph.LinkID
+	psPerBit float64
+	prop     Time
+	capBytes int32
+	ecnMark  int32 // CE-mark threshold in bytes; 0 disables
+	trimTo   int32 // trim-to-header size in bytes; 0 disables
+
+	buf   []*Packet // FIFO; buf[0] is in transmission when busy
+	bytes int32
+	busy  bool
+
+	txPkts, txBytes int64
+	marks           int64
+	trims           int64
+	busyTime        Time
+}
+
+func (q *queue) txTime(size int32) Time {
+	return Time(math.Round(float64(size) * 8 * q.psPerBit))
+}
+
+func (q *queue) enqueue(p *Packet) {
+	// With trimming enabled, headers and control packets (Size <=
+	// trimTo) may use a reserved headroom of 64 headers beyond the data
+	// budget — modelling NDP's separate high-priority header queue.
+	limit := q.capBytes
+	if q.trimTo > 0 && p.Size <= q.trimTo {
+		limit += 64 * q.trimTo
+	}
+	if q.bytes+p.Size > limit {
+		if q.trimTo > 0 && p.Size > q.trimTo && q.bytes+q.trimTo <= q.capBytes+64*q.trimTo {
+			p.Size = q.trimTo
+			p.Trimmed = true
+			q.trims++
+			if q.net.Tracer != nil {
+				q.net.Tracer.PacketEvent(TraceTrim, p, q.id)
+			}
+		} else {
+			q.net.Drops[q.id]++
+			if q.net.Tracer != nil {
+				q.net.Tracer.PacketEvent(TraceDrop, p, q.id)
+			}
+			q.net.Release(p)
+			return
+		}
+	}
+	if q.ecnMark > 0 && q.bytes > q.ecnMark {
+		p.CE = true
+		q.marks++
+	}
+	if q.net.Tracer != nil {
+		q.net.Tracer.PacketEvent(TraceEnqueue, p, q.id)
+	}
+	q.buf = append(q.buf, p)
+	q.bytes += p.Size
+	if !q.busy {
+		q.busy = true
+		q.startTx()
+	}
+}
+
+func (q *queue) startTx() {
+	p := q.buf[0]
+	eng := q.net.Eng
+	tx := q.txTime(p.Size)
+	q.busyTime += tx
+	q.txPkts++
+	q.txBytes += int64(p.Size)
+	eng.schedule(eng.Now()+tx, q)
+}
+
+// act fires when the head packet's last bit leaves the queue: the packet
+// is scheduled to arrive after the propagation delay and the next packet
+// (if any) begins transmission.
+func (q *queue) act() {
+	p := q.buf[0]
+	copy(q.buf, q.buf[1:])
+	q.buf[len(q.buf)-1] = nil
+	q.buf = q.buf[:len(q.buf)-1]
+	q.bytes -= p.Size
+
+	eng := q.net.Eng
+	eng.schedule(eng.Now()+q.prop, p)
+
+	if len(q.buf) > 0 {
+		q.startTx()
+	} else {
+		q.busy = false
+	}
+}

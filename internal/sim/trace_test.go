@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"testing"
+
+	"pnet/internal/graph"
+)
+
+type countingTracer struct {
+	counts map[TraceEvent]int
+	links  map[graph.LinkID]bool
+}
+
+func (c *countingTracer) PacketEvent(ev TraceEvent, p *Packet, link graph.LinkID) {
+	if c.counts == nil {
+		c.counts = map[TraceEvent]int{}
+		c.links = map[graph.LinkID]bool{}
+	}
+	c.counts[ev]++
+	c.links[link] = true
+}
+
+func TestTracerSeesLifecycle(t *testing.T) {
+	eng, net, fwd, _ := hostPair(100, Config{})
+	tr := &countingTracer{}
+	net.Tracer = tr
+	s := &sink{eng: eng}
+	for i := 0; i < 3; i++ {
+		p := net.NewPacket()
+		p.Size = 1500
+		p.Route = fwd
+		p.Deliver = s
+		net.Send(p)
+	}
+	eng.Run()
+	// Each packet: 2 enqueues (one per hop) + 1 delivery.
+	if tr.counts[TraceEnqueue] != 6 {
+		t.Errorf("enqueues = %d, want 6", tr.counts[TraceEnqueue])
+	}
+	if tr.counts[TraceDeliver] != 3 {
+		t.Errorf("delivers = %d, want 3", tr.counts[TraceDeliver])
+	}
+	if tr.counts[TraceDrop] != 0 || tr.counts[TraceTrim] != 0 {
+		t.Errorf("unexpected drop/trim events: %v", tr.counts)
+	}
+	if len(tr.links) != 2 {
+		t.Errorf("links seen = %d, want 2", len(tr.links))
+	}
+}
+
+func TestTracerSeesDropsAndTrims(t *testing.T) {
+	// Tiny queue without trimming: drops traced.
+	eng, net, fwd, _ := hostPair(100, Config{QueueBytes: 1500})
+	tr := &countingTracer{}
+	net.Tracer = tr
+	s := &sink{eng: eng}
+	for i := 0; i < 4; i++ {
+		p := net.NewPacket()
+		p.Size = 1500
+		p.Route = fwd
+		p.Deliver = s
+		net.Send(p)
+	}
+	eng.Run()
+	if tr.counts[TraceDrop] != 3 {
+		t.Errorf("drops traced = %d, want 3", tr.counts[TraceDrop])
+	}
+
+	// Same with trimming: trims traced instead.
+	eng2, net2, fwd2, _ := hostPair(100, Config{QueueBytes: 1500, TrimToBytes: 64})
+	tr2 := &countingTracer{}
+	net2.Tracer = tr2
+	s2 := &sink{eng: eng2}
+	for i := 0; i < 4; i++ {
+		p := net2.NewPacket()
+		p.Size = 1500
+		p.Route = fwd2
+		p.Deliver = s2
+		net2.Send(p)
+	}
+	eng2.Run()
+	if tr2.counts[TraceTrim] != 3 {
+		t.Errorf("trims traced = %d, want 3", tr2.counts[TraceTrim])
+	}
+	if tr2.counts[TraceDrop] != 0 {
+		t.Errorf("drops traced = %d with trimming on", tr2.counts[TraceDrop])
+	}
+}
+
+func TestNilTracerIsFree(t *testing.T) {
+	// Just exercises the nil-check path.
+	eng, net, fwd, _ := hostPair(100, Config{})
+	s := &sink{eng: eng}
+	p := net.NewPacket()
+	p.Size = 1500
+	p.Route = fwd
+	p.Deliver = s
+	net.Send(p)
+	eng.Run()
+	if len(s.times) != 1 {
+		t.Fatal("delivery failed without tracer")
+	}
+}

@@ -1,0 +1,106 @@
+package topo
+
+import "fmt"
+
+// ChassisPlane builds the chip-level graph of a two-tier chassis-based
+// fat tree (Figure 2b): hosts connect to aggregation chassis (2-stage
+// internal Clos of chipPorts-port chips), which connect to spine chassis
+// (non-blocking 3-stage internal Clos). The returned PlaneSpec's switches
+// are individual chips, so shortest host-to-host paths traverse the
+// paper's 7 chip hops (2 + 3 + 2) — the structural claim behind Table 1's
+// "Hops" column.
+//
+// Scale: hosts = 2*(chassisPorts/2)^2 at full fan-out; this builder
+// divides all counts by `shrink` (≥1) to keep test instances small while
+// preserving the hop structure. chassisPorts and chipPorts must be even;
+// chassisPorts must be divisible by chipPorts.
+func ChassisPlane(chassisPorts, chipPorts, shrink int) PlaneSpec {
+	if chassisPorts%2 != 0 || chipPorts%2 != 0 || chassisPorts%chipPorts != 0 {
+		panic(fmt.Sprintf("topo: invalid chassis config %d/%d", chassisPorts, chipPorts))
+	}
+	if shrink < 1 {
+		panic("topo: shrink must be >= 1")
+	}
+	half := chassisPorts / 2 / shrink // down/up ports per agg chassis
+	if half < 1 {
+		panic("topo: shrink too large")
+	}
+	aggChassis := 2 * half // lower tier
+	spineChassis := half   // top tier
+
+	// Internal chassis structure, scaled with shrink. Aggregation
+	// chassis are 2-stage: down-facing chips (p/2 host ports + p/2
+	// internal) meshed with up-facing chips (p/2 uplink ports + p/2
+	// internal) — the paper's "16 16-port chips in a 2-stage topology"
+	// (2P/p chips). Spine chassis are non-blocking 3-stage Clos: 2P/p
+	// external leaf chips plus P/p middle chips.
+	p2 := chipPorts / 2
+	aDown := ceilDiv(half, p2)
+	aUp := ceilDiv(half, p2)
+	sLeaf := ceilDiv(2*half, p2)
+	sMid := ceilDiv(sLeaf*p2, chipPorts)
+
+	type chipID = int
+	next := 0
+	alloc := func(n int) []chipID {
+		ids := make([]chipID, n)
+		for i := range ids {
+			ids[i] = next
+			next++
+		}
+		return ids
+	}
+
+	var edges [][2]int
+	// Aggregation chassis chips: down-facing and up-facing stages with a
+	// full bipartite copper-backplane mesh.
+	aggDowns := make([][]chipID, aggChassis)
+	aggUps := make([][]chipID, aggChassis)
+	for c := 0; c < aggChassis; c++ {
+		aggDowns[c] = alloc(aDown)
+		aggUps[c] = alloc(aUp)
+		for _, l := range aggDowns[c] {
+			for _, s := range aggUps[c] {
+				edges = append(edges, [2]int{l, s})
+			}
+		}
+	}
+	// Spine chassis chips: leaf + middle, full bipartite internally.
+	spineLeafs := make([][]chipID, spineChassis)
+	for c := 0; c < spineChassis; c++ {
+		spineLeafs[c] = alloc(sLeaf)
+		mids := alloc(sMid)
+		for _, l := range spineLeafs[c] {
+			for _, m := range mids {
+				edges = append(edges, [2]int{l, m})
+			}
+		}
+	}
+	// Inter-chassis cables: aggregation chassis c uplinks one cable to
+	// every spine chassis (folded-Clos wiring), terminating on chips
+	// round-robin.
+	for c := 0; c < aggChassis; c++ {
+		for s := 0; s < spineChassis; s++ {
+			up := aggUps[c][s%len(aggUps[c])]
+			down := spineLeafs[s][c%len(spineLeafs[s])]
+			edges = append(edges, [2]int{up, down})
+		}
+	}
+
+	// Hosts: `half` per aggregation chassis, spread over its down chips.
+	hosts := make([]int, 0, aggChassis*half)
+	for c := 0; c < aggChassis; c++ {
+		for h := 0; h < half; h++ {
+			hosts = append(hosts, aggDowns[c][h%len(aggDowns[c])])
+		}
+	}
+
+	return PlaneSpec{
+		Switches: next,
+		Edges:    edges,
+		HostPort: hosts,
+		Kind:     "chassis",
+	}
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,129 @@
+package topo
+
+import "fmt"
+
+// Components tallies the hardware needed by a network architecture, as in
+// Table 1 of the paper. Counts cover the switching fabric; host NICs and
+// host cables are identical across architectures and excluded.
+type Components struct {
+	Name string
+	// Tiers of switch boxes between hosts and the top of the fabric.
+	Tiers int
+	// Hops a packet takes through switch chips host-to-host (worst case).
+	Hops int
+	// Chips is the number of switch ASICs.
+	Chips int
+	// Boxes is the number of discrete switch enclosures.
+	Boxes int
+	// Links is the number of physical inter-switch cables. Parallel
+	// networks bundle one link per plane into a single cable (§6.1).
+	Links int
+}
+
+// tiersFor returns the minimum number of folded-Clos tiers of ports-port
+// switches needed to serve the given host count: a t-tier folded Clos of
+// p-port switches supports 2*(p/2)^t hosts.
+func tiersFor(hosts, ports int) int {
+	cap := 2
+	for t := 1; ; t++ {
+		cap *= ports / 2
+		if cap >= hosts {
+			return t
+		}
+	}
+}
+
+// closChips returns the switch count of a t-tier folded Clos of p-port
+// switches at full scale: (2t-1) * (p/2)^(t-1).
+func closChips(t, p int) int {
+	c := 2*t - 1
+	for i := 0; i < t-1; i++ {
+		c *= p / 2
+	}
+	return c
+}
+
+// closTopChips returns the top-tier (core) switch count: (p/2)^(t-1).
+func closTopChips(t, p int) int {
+	c := 1
+	for i := 0; i < t-1; i++ {
+		c *= p / 2
+	}
+	return c
+}
+
+// SerialScaleOut models a traditional fat tree built from discrete
+// chipPorts-port switch boxes (Figure 2a; Table 1 row 1).
+func SerialScaleOut(hosts, chipPorts int) Components {
+	t := tiersFor(hosts, chipPorts)
+	chips := closChips(t, chipPorts)
+	top := closTopChips(t, chipPorts)
+	return Components{
+		Name:  fmt.Sprintf("serial scale-out (%d hosts, %d-port chips)", hosts, chipPorts),
+		Tiers: t,
+		Hops:  2*t - 1,
+		Chips: chips,
+		Boxes: chips,
+		Links: (chips - top) * chipPorts / 2,
+	}
+}
+
+// SerialChassis models a chassis-based fat tree (Figure 2b; Table 1 row 2):
+// a 2-level fabric of chassisPorts-port boxes, each box internally a Clos
+// of chipPorts-port chips. Spine chassis are non-blocking 3-stage
+// (3*P/p chips); aggregation chassis are 2-stage (2*P/p chips), blocking
+// internally but preserving end-to-end non-blocking operation as deployed
+// in production Clos fabrics.
+func SerialChassis(hosts, chassisPorts, chipPorts int) Components {
+	t := tiersFor(hosts, chassisPorts)
+	boxes := closChips(t, chassisPorts)
+	topBoxes := closTopChips(t, chassisPorts)
+	aggBoxes := boxes - topBoxes
+	spineChips := 3 * chassisPorts / chipPorts
+	aggChips := 2 * chassisPorts / chipPorts
+	// Chip hops: through each aggregation chassis a packet crosses its
+	// 2-stage fabric (2 chips), through the spine its 3-stage fabric
+	// (3 chips): agg + spine + agg = 7 for t=2. Generally lower tiers are
+	// 2-stage and the top is 3-stage.
+	hops := 2*(2*(t-1)) + 3
+	return Components{
+		Name:  fmt.Sprintf("serial chassis (%d hosts, %d-port chassis)", hosts, chassisPorts),
+		Tiers: t,
+		Hops:  hops,
+		Chips: aggBoxes*aggChips + topBoxes*spineChips,
+		Boxes: boxes,
+		Links: aggBoxes * chassisPorts / 2,
+	}
+}
+
+// ParallelPNet models an N-way parallel fat tree (Figure 4; Table 1 row 3).
+// Each switch chip runs at its native high radix — chipPorts*planes ports
+// at 1/planes the per-port speed — so each plane needs fewer tiers. Chips
+// serving the same position across planes share one box (§6.1, "flattened
+// layer of chips inside each switch box"), and the planes' parallel links
+// are bundled into single physical cables.
+func ParallelPNet(hosts, planes, chipPorts int) Components {
+	radix := chipPorts * planes
+	t := tiersFor(hosts, radix)
+	chipsPerPlane := closChips(t, radix)
+	topPerPlane := closTopChips(t, radix)
+	return Components{
+		Name:  fmt.Sprintf("parallel %dx (%d hosts, radix-%d chips)", planes, hosts, radix),
+		Tiers: t,
+		Hops:  2*t - 1,
+		Chips: chipsPerPlane * planes,
+		Boxes: chipsPerPlane,
+		Links: (chipsPerPlane - topPerPlane) * radix / 2,
+	}
+}
+
+// Table1 reproduces the paper's Table 1: the three architectures at 8192
+// hosts built from 16-port switch chips, with 128-port chassis and 8-way
+// parallelism.
+func Table1() []Components {
+	return []Components{
+		SerialScaleOut(8192, 16),
+		SerialChassis(8192, 128, 16),
+		ParallelPNet(8192, 8, 16),
+	}
+}

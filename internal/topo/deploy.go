@@ -1,0 +1,149 @@
+package topo
+
+// Deployment models the physical build-out of a topology under the §6.1
+// optimizations: multi-channel cable bundling across planes, patch panels
+// or optical circuit switches that localize (and hide) heterogeneity, and
+// per-box chip co-packaging.
+type Deployment struct {
+	// HostCables counts physical host-to-ToR cables. With bundling, the
+	// N plane channels of one host share one multi-channel cable (e.g.
+	// 4x100G channels in one 400G cable).
+	HostCables int
+	// CoreCables counts physical inter-switch cables, bundled across
+	// planes when the planes' cable runs are parallel (homogeneous
+	// P-Nets) or terminated on patch panels (heterogeneous).
+	CoreCables int
+	// PatchPanelPorts counts the panel ports needed to localize plane
+	// heterogeneity at a central location (0 when no panel is used).
+	PatchPanelPorts int
+	// SwitchBoxes counts discrete switch enclosures: one per rack
+	// position holding one chip per plane (co-packaged), plus core boxes.
+	SwitchBoxes int
+	// Transceivers counts optical transceiver modules: two per physical
+	// core cable; host cables use on-board copper/AOC and are excluded,
+	// and panel-side connections are passive.
+	Transceivers int
+}
+
+// DeployOptions selects the §6.1 optimizations.
+type DeployOptions struct {
+	// Bundle coalesces the planes' parallel links into multi-channel
+	// cables (§6.1 "cable bundles"): valid when every plane has the
+	// same per-rack layout (homogeneous), or when a patch panel
+	// re-sorts channels centrally (heterogeneous + panel).
+	Bundle bool
+	// PatchPanel inserts a central patch panel / OCS layer, localizing
+	// heterogeneity and enabling bundling for heterogeneous planes.
+	PatchPanel bool
+}
+
+// PlanDeployment computes the physical component counts for a topology.
+// Cables are counted as duplex (one fiber pair or channel per direction).
+func PlanDeployment(t *Topology, opts DeployOptions) Deployment {
+	var d Deployment
+
+	hosts := t.NumHosts()
+	if opts.Bundle {
+		d.HostCables = hosts // one multi-channel cable per host
+	} else {
+		d.HostCables = hosts * t.Planes
+	}
+
+	// Duplex inter-switch cables per plane.
+	interPerPlane := make([]int, t.Planes)
+	for _, id := range t.InterSwitchLinks() {
+		l := t.G.Link(id)
+		if l.Src < l.Dst { // count each duplex pair once
+			interPerPlane[l.Plane]++
+		}
+	}
+	totalInter := 0
+	maxPerPlane := 0
+	for _, c := range interPerPlane {
+		totalInter += c
+		if c > maxPerPlane {
+			maxPerPlane = c
+		}
+	}
+
+	homogeneous := true
+	for _, c := range interPerPlane {
+		if c != maxPerPlane {
+			homogeneous = false
+			break
+		}
+	}
+
+	switch {
+	case opts.Bundle && (homogeneous && isReplicated(t) || opts.PatchPanel):
+		// Each bundle carries one channel per plane over the same run.
+		d.CoreCables = maxPerPlane
+	default:
+		d.CoreCables = totalInter
+	}
+	if opts.PatchPanel {
+		// Every core cable terminates on the panel twice (in and out).
+		d.PatchPanelPorts = 2 * d.CoreCables
+	}
+
+	// Boxes: each rack position packages one chip per plane (§6.1
+	// "flattened layer of chips"); non-ToR switches likewise share boxes
+	// across planes when plane structure allows, otherwise one box per
+	// switch.
+	if isReplicated(t) {
+		d.SwitchBoxes = t.SwitchCount[0]
+	} else {
+		for _, c := range t.SwitchCount {
+			d.SwitchBoxes += c
+		}
+	}
+
+	d.Transceivers = 2 * d.CoreCables
+	return d
+}
+
+// isReplicated reports whether all planes are structural copies of plane
+// 0 (same switch count and edge multiset sizes) — the homogeneous case
+// where cross-plane co-packaging and bundling apply directly.
+func isReplicated(t *Topology) bool {
+	for p := 1; p < t.Planes; p++ {
+		if t.SwitchCount[p] != t.SwitchCount[0] {
+			return false
+		}
+	}
+	// Compare per-plane inter-switch link counts.
+	counts := make([]int, t.Planes)
+	for _, id := range t.InterSwitchLinks() {
+		counts[t.G.Link(id).Plane]++
+	}
+	for p := 1; p < t.Planes; p++ {
+		if counts[p] != counts[0] {
+			return false
+		}
+	}
+	// Heterogeneous planes (different seeds) typically have equal counts
+	// but different wiring; distinguish by comparing edge endpoints
+	// relative to each plane's base.
+	type edge struct{ a, b int32 }
+	ref := map[edge]int{}
+	for _, id := range t.InterSwitchLinks() {
+		l := t.G.Link(id)
+		base := t.SwitchBase[l.Plane]
+		e := edge{int32(l.Src - base), int32(l.Dst - base)}
+		if l.Plane == 0 {
+			ref[e]++
+		}
+	}
+	for _, id := range t.InterSwitchLinks() {
+		l := t.G.Link(id)
+		if l.Plane == 0 {
+			continue
+		}
+		base := t.SwitchBase[l.Plane]
+		e := edge{int32(l.Src - base), int32(l.Dst - base)}
+		if ref[e] == 0 {
+			return false
+		}
+	}
+	return true
+}

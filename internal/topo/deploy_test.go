@@ -1,0 +1,85 @@
+package topo
+
+import "testing"
+
+func TestDeploymentHomogeneousBundling(t *testing.T) {
+	set := FatTreeSet(4, 4, 100) // 16 hosts, 4 identical planes
+	tp := set.ParallelHomo
+
+	naive := PlanDeployment(tp, DeployOptions{})
+	if naive.HostCables != 16*4 {
+		t.Errorf("naive host cables = %d, want 64", naive.HostCables)
+	}
+	// k=4 plane: 32 duplex inter-switch cables per plane, 4 planes.
+	if naive.CoreCables != 32*4 {
+		t.Errorf("naive core cables = %d, want 128", naive.CoreCables)
+	}
+	if naive.PatchPanelPorts != 0 {
+		t.Errorf("naive panel ports = %d", naive.PatchPanelPorts)
+	}
+
+	bundled := PlanDeployment(tp, DeployOptions{Bundle: true})
+	if bundled.HostCables != 16 {
+		t.Errorf("bundled host cables = %d, want 16", bundled.HostCables)
+	}
+	if bundled.CoreCables != 32 {
+		t.Errorf("bundled core cables = %d, want 32 (4 channels each)", bundled.CoreCables)
+	}
+	if bundled.Transceivers != 64 {
+		t.Errorf("bundled transceivers = %d, want 64", bundled.Transceivers)
+	}
+}
+
+func TestDeploymentHeterogeneousNeedsPanel(t *testing.T) {
+	set := JellyfishSet(12, 4, 2, 4, 100, 3)
+	het := set.ParallelHetero
+
+	// Without a patch panel, heterogeneous planes cannot bundle core
+	// cables (different wiring per plane).
+	noPanel := PlanDeployment(het, DeployOptions{Bundle: true})
+	panel := PlanDeployment(het, DeployOptions{Bundle: true, PatchPanel: true})
+	if noPanel.CoreCables <= panel.CoreCables {
+		t.Errorf("no-panel core cables %d <= panel %d", noPanel.CoreCables, panel.CoreCables)
+	}
+	if panel.PatchPanelPorts != 2*panel.CoreCables {
+		t.Errorf("panel ports = %d, want %d", panel.PatchPanelPorts, 2*panel.CoreCables)
+	}
+	// Host-side bundling works either way.
+	if noPanel.HostCables != het.NumHosts() {
+		t.Errorf("host cables = %d", noPanel.HostCables)
+	}
+}
+
+func TestDeploymentBoxesCoPackaged(t *testing.T) {
+	homo := FatTreeSet(4, 4, 100).ParallelHomo
+	het := JellyfishSet(12, 4, 2, 4, 100, 3).ParallelHetero
+
+	dHomo := PlanDeployment(homo, DeployOptions{})
+	if dHomo.SwitchBoxes != homo.SwitchCount[0] {
+		t.Errorf("homogeneous boxes = %d, want %d (one box per position)",
+			dHomo.SwitchBoxes, homo.SwitchCount[0])
+	}
+	dHet := PlanDeployment(het, DeployOptions{})
+	want := 0
+	for _, c := range het.SwitchCount {
+		want += c
+	}
+	if dHet.SwitchBoxes != want {
+		t.Errorf("heterogeneous boxes = %d, want %d", dHet.SwitchBoxes, want)
+	}
+}
+
+func TestIsReplicated(t *testing.T) {
+	if !isReplicated(FatTreeSet(4, 4, 100).ParallelHomo) {
+		t.Error("replicated fat tree not detected")
+	}
+	if isReplicated(JellyfishSet(12, 4, 2, 4, 100, 3).ParallelHetero) {
+		t.Error("heterogeneous jellyfish misdetected as replicated")
+	}
+	if !isReplicated(JellyfishSet(12, 4, 2, 4, 100, 3).ParallelHomo) {
+		t.Error("replicated jellyfish not detected")
+	}
+	if !isReplicated(FatTreeSet(4, 1, 100).SerialLow) {
+		t.Error("single plane should count as replicated")
+	}
+}

@@ -1,0 +1,91 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// XpanderPlane returns the PlaneSpec of an Xpander network [Valadarsky et
+// al., CoNEXT 2016], the pseudorandom expander the paper names alongside
+// Jellyfish as a heterogeneous-P-Net candidate. Construction follows the
+// paper's 2-lift procedure: start from the complete graph K_{d+1} (the
+// optimal d-regular expander) and repeatedly apply random 2-lifts — each
+// lift doubles the switch count while preserving degree and near-optimal
+// spectral expansion. lifts therefore determines the size:
+// (netDegree+1) × 2^lifts switches.
+//
+// The result is deterministic for a given seed; heterogeneous planes use
+// different seeds, exactly as with JellyfishPlane.
+func XpanderPlane(netDegree, lifts, hostsPerSwitch int, seed int64) PlaneSpec {
+	if netDegree < 2 {
+		panic(fmt.Sprintf("topo: xpander degree %d < 2", netDegree))
+	}
+	if lifts < 0 {
+		panic("topo: negative lift count")
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// K_{d+1}: every pair of the d+1 switches connected.
+	n := netDegree + 1
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+
+	for l := 0; l < lifts; l++ {
+		// 2-lift: each node u splits into u and u+n; each edge picks
+		// straight or crossed wiring at random. Degree is preserved and
+		// a random lift of an expander is an expander w.h.p.
+		lifted := make([][2]int, 0, 2*len(edges))
+		for _, e := range edges {
+			u, v := e[0], e[1]
+			if rng.Intn(2) == 0 { // straight
+				lifted = append(lifted, [2]int{u, v}, [2]int{u + n, v + n})
+			} else { // crossed
+				lifted = append(lifted, [2]int{u, v + n}, [2]int{u + n, v})
+			}
+		}
+		edges = lifted
+		n *= 2
+	}
+
+	hosts := make([]int, n*hostsPerSwitch)
+	for s := 0; s < n; s++ {
+		for h := 0; h < hostsPerSwitch; h++ {
+			hosts[s*hostsPerSwitch+h] = s
+		}
+	}
+	return PlaneSpec{
+		Switches: n,
+		Edges:    edges,
+		HostPort: hosts,
+		Kind:     "xpander",
+	}
+}
+
+// XpanderSet builds the four evaluation networks over Xpander planes,
+// mirroring JellyfishSet: homogeneous planes replicate one lift sequence,
+// heterogeneous planes draw different random lifts per plane.
+func XpanderSet(netDegree, lifts, hostsPerSwitch, planes int, speed float64, seed int64) NetworkSet {
+	base := XpanderPlane(netDegree, lifts, hostsPerSwitch, seed)
+	homo := make([]PlaneSpec, planes)
+	for i := range homo {
+		homo[i] = base
+	}
+	hetero := make([]PlaneSpec, planes)
+	hetero[0] = base
+	for i := 1; i < planes; i++ {
+		hetero[i] = XpanderPlane(netDegree, lifts, hostsPerSwitch, seed+int64(i))
+	}
+	name := func(kind string, n int, sp float64) string {
+		return fmt.Sprintf("%s xp%d-%d %dx%.0fG", kind, base.Switches, netDegree, n, sp)
+	}
+	return NetworkSet{
+		SerialLow:      Assemble(name("serial-low", 1, speed), speed, base),
+		ParallelHomo:   Assemble(name("parallel-homo", planes, speed), speed, homo...),
+		ParallelHetero: Assemble(name("parallel-hetero", planes, speed), speed, hetero...),
+		SerialHigh:     Assemble(name("serial-high", 1, float64(planes)*speed), float64(planes)*speed, base),
+	}
+}

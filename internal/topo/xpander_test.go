@@ -1,0 +1,122 @@
+package topo
+
+import (
+	"testing"
+
+	"pnet/internal/graph"
+)
+
+func TestXpanderRegularity(t *testing.T) {
+	// K_{d+1} lifted any number of times stays exactly d-regular.
+	for _, lifts := range []int{0, 1, 2, 3} {
+		p := XpanderPlane(5, lifts, 2, 7)
+		wantSwitches := 6 << lifts
+		if p.Switches != wantSwitches {
+			t.Fatalf("lifts=%d: switches = %d, want %d", lifts, p.Switches, wantSwitches)
+		}
+		for i, d := range p.Degrees() {
+			if d != 5 {
+				t.Fatalf("lifts=%d: switch %d degree %d, want 5", lifts, i, d)
+			}
+		}
+	}
+}
+
+func TestXpanderConnectedAndShortPaths(t *testing.T) {
+	p := XpanderPlane(6, 3, 3, 11) // 56 switches, 168 hosts
+	tp := Assemble("xp", 100, p)
+	dist := graph.HopDistances(tp.G, tp.Hosts[0])
+	maxDist := 0
+	for _, h := range tp.Hosts {
+		if h == tp.Hosts[0] {
+			continue
+		}
+		if dist[h] < 0 {
+			t.Fatalf("host %d unreachable", h)
+		}
+		if dist[h] > maxDist {
+			maxDist = dist[h]
+		}
+	}
+	// Expanders have logarithmic diameter: host-to-host within 6 hops
+	// here (host + up to 4 switch hops + host).
+	if maxDist > 6 {
+		t.Errorf("host diameter = %d, want <= 6 for an expander", maxDist)
+	}
+}
+
+func TestXpanderDeterministicPerSeed(t *testing.T) {
+	a := XpanderPlane(4, 2, 1, 3)
+	b := XpanderPlane(4, 2, 1, 3)
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatal("same seed, different sizes")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("same seed, different graphs")
+		}
+	}
+	c := XpanderPlane(4, 2, 1, 4)
+	same := true
+	for i := range a.Edges {
+		if a.Edges[i] != c.Edges[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical lifts")
+	}
+}
+
+func TestXpanderSetShape(t *testing.T) {
+	set := XpanderSet(5, 2, 2, 4, 100, 9)
+	if set.SerialLow.NumHosts() != 48 { // 24 switches x 2 hosts
+		t.Errorf("hosts = %d", set.SerialLow.NumHosts())
+	}
+	if set.ParallelHetero.Planes != 4 {
+		t.Errorf("planes = %d", set.ParallelHetero.Planes)
+	}
+	// Hetero planes differ in wiring.
+	counts := map[int]int{}
+	for _, id := range set.ParallelHetero.InterSwitchLinks() {
+		counts[int(set.ParallelHetero.G.Link(id).Plane)]++
+	}
+	for p, c := range counts {
+		if c != counts[0] {
+			t.Errorf("plane %d link count %d != plane 0 %d", p, c, counts[0])
+		}
+	}
+}
+
+func TestXpanderHeteroShorterPaths(t *testing.T) {
+	// The hetero advantage holds for Xpander planes too: min-across-
+	// planes hops below single-plane hops.
+	set := XpanderSet(5, 2, 2, 4, 100, 9)
+	pairs := [][2]graph.NodeID{}
+	hosts := set.ParallelHetero.Hosts
+	for i := 0; i < 30; i++ {
+		pairs = append(pairs, [2]graph.NodeID{hosts[i], hosts[len(hosts)-1-i]})
+	}
+	het, _ := graph.AvgShortestHops(set.ParallelHetero.G, pairs)
+	homo, _ := graph.AvgShortestHops(set.ParallelHomo.G, pairs)
+	if het >= homo {
+		t.Errorf("hetero avg hops %.3f >= homo %.3f", het, homo)
+	}
+}
+
+func TestXpanderInvalidConfig(t *testing.T) {
+	for _, fn := range []func(){
+		func() { XpanderPlane(1, 2, 1, 1) },
+		func() { XpanderPlane(4, -1, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic for invalid xpander config")
+				}
+			}()
+			fn()
+		}()
+	}
+}

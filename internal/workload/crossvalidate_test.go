@@ -1,0 +1,56 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"pnet/internal/mcf"
+	"pnet/internal/route"
+	"pnet/internal/sim"
+	"pnet/internal/tcp"
+	"pnet/internal/topo"
+)
+
+// TestSimMatchesLPOnPermutation cross-validates the two measurement
+// substrates: for a permutation of long flows over pinned ECMP paths, the
+// packet simulator's aggregate goodput must come close to the max-min
+// fair allocation the LP-side solver predicts for the same paths. This is
+// the consistency check between the paper's "LP solver" and "htsim"
+// methodologies.
+func TestSimMatchesLPOnPermutation(t *testing.T) {
+	set := topo.FatTreeSet(4, 2, 100)
+	tp := set.ParallelHomo
+	rng := rand.New(rand.NewSource(9))
+	cs := PermutationCommodities(tp, 0, rng)
+	paths := route.ECMPPaths(tp.G, cs, 42)
+
+	// LP prediction: max-min fair total throughput in Gb/s.
+	predicted := mcf.MaxMinPinned(tp.G, cs, paths).Total
+
+	// Simulate the same pinned flows for a fixed window and measure
+	// aggregate goodput.
+	d := NewDriver(tp, sim.Config{}, tcp.Config{})
+	const flowBytes = 80_000_000 // long enough to stay in steady state
+	flows := make([]*tcp.Flow, len(cs))
+	for i := range cs {
+		f, err := d.StartFlowOnPaths(paths[i], flowBytes, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flows[i] = f
+	}
+	const window = 4 * sim.Millisecond
+	d.Eng.RunUntil(window)
+
+	var deliveredBytes float64
+	for _, f := range flows {
+		deliveredBytes += float64(f.DeliveredPkts()) * 1500
+	}
+	measured := deliveredBytes * 8 / window.Seconds() / 1e9 // Gb/s
+
+	ratio := measured / predicted
+	if ratio < 0.70 || ratio > 1.05 {
+		t.Errorf("sim goodput %.1f Gb/s vs LP prediction %.1f Gb/s (ratio %.2f)",
+			measured, predicted, ratio)
+	}
+}

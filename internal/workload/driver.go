@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"fmt"
+
+	"pnet/internal/core"
+	"pnet/internal/graph"
+	"pnet/internal/sim"
+	"pnet/internal/tcp"
+	"pnet/internal/topo"
+)
+
+// Policy selects how a driver routes each flow.
+type Policy int
+
+const (
+	// Shortest uses the single lowest-hop path across all planes (the
+	// paper's "low-latency" interface; in heterogeneous P-Nets this
+	// exploits per-pair shorter planes).
+	Shortest Policy = iota
+	// ECMP pins each flow to one hash-selected shortest path; distinct
+	// flows between the same pair spread over planes and equal-cost
+	// paths, as in the paper's single-path experiments.
+	ECMP
+	// KSP gives each flow K subflows over the K shortest paths across
+	// planes (MPTCP).
+	KSP
+)
+
+// Selection is a routing policy plus its multipath degree.
+type Selection struct {
+	Policy Policy
+	// K is the subflow count for KSP (ignored otherwise).
+	K int
+	// Class, when set, confines routing to the planes assigned to the
+	// named traffic class (core.SetClass) — the paper's §7 performance
+	// isolation.
+	Class string
+}
+
+func (s Selection) String() string {
+	var name string
+	switch s.Policy {
+	case Shortest:
+		name = "shortest"
+	case ECMP:
+		name = "ecmp"
+	default:
+		name = fmt.Sprintf("ksp-%d", s.K)
+	}
+	if s.Class != "" {
+		name += "@" + s.Class
+	}
+	return name
+}
+
+// Driver couples a topology, its packet-level network, and the P-Net
+// end-host control plane, and starts transport flows under a Selection.
+type Driver struct {
+	PNet *core.PNet
+	Eng  *sim.Engine
+	Net  *sim.Network
+	TCP  tcp.Config
+
+	hashCtr uint64
+	// Flows counts flows started; Completed counts OnComplete callbacks.
+	Flows, Completed int64
+}
+
+// NewDriver builds the simulation environment for a topology.
+func NewDriver(t *topo.Topology, simCfg sim.Config, tcpCfg tcp.Config) *Driver {
+	eng := sim.NewEngine()
+	return &Driver{
+		PNet: core.New(t),
+		Eng:  eng,
+		Net:  sim.NewNetwork(eng, t.G, simCfg),
+		TCP:  tcpCfg,
+	}
+}
+
+// PathsFor resolves a Selection into concrete paths for a flow.
+func (d *Driver) PathsFor(src, dst graph.NodeID, sel Selection) ([]graph.Path, error) {
+	if sel.Class != "" {
+		return d.classPathsFor(src, dst, sel)
+	}
+	switch sel.Policy {
+	case Shortest:
+		p, ok := d.PNet.LowLatencyPath(src, dst)
+		if !ok {
+			return nil, fmt.Errorf("workload: no path %d->%d", src, dst)
+		}
+		return []graph.Path{p}, nil
+	case ECMP:
+		d.hashCtr++
+		p, ok := d.PNet.ECMPPath(src, dst, d.hashCtr*0x9e3779b97f4a7c15)
+		if !ok {
+			return nil, fmt.Errorf("workload: no ECMP path %d->%d", src, dst)
+		}
+		return []graph.Path{p}, nil
+	case KSP:
+		k := sel.K
+		if k <= 0 {
+			k = core.SubflowsFor(d.PNet.Planes())
+		}
+		ps := d.PNet.HighThroughputPaths(src, dst, k)
+		if len(ps) == 0 {
+			return nil, fmt.Errorf("workload: no KSP paths %d->%d", src, dst)
+		}
+		return ps, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown policy %d", sel.Policy)
+	}
+}
+
+// classPathsFor resolves a class-confined Selection.
+func (d *Driver) classPathsFor(src, dst graph.NodeID, sel Selection) ([]graph.Path, error) {
+	switch sel.Policy {
+	case Shortest:
+		p, ok := d.PNet.ClassLowLatencyPath(sel.Class, src, dst)
+		if !ok {
+			return nil, fmt.Errorf("workload: class %q: no path %d->%d", sel.Class, src, dst)
+		}
+		return []graph.Path{p}, nil
+	case ECMP:
+		d.hashCtr++
+		p, ok := d.PNet.ClassPath(sel.Class, src, dst, d.hashCtr*0x9e3779b97f4a7c15)
+		if !ok {
+			return nil, fmt.Errorf("workload: class %q: no ECMP path %d->%d", sel.Class, src, dst)
+		}
+		return []graph.Path{p}, nil
+	case KSP:
+		k := sel.K
+		if k <= 0 {
+			k = core.SubflowsFor(len(d.PNet.Class(sel.Class)))
+		}
+		ps := d.PNet.ClassPaths(sel.Class, src, dst, k)
+		if len(ps) == 0 {
+			return nil, fmt.Errorf("workload: class %q: no KSP paths %d->%d", sel.Class, src, dst)
+		}
+		return ps, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown policy %d", sel.Policy)
+	}
+}
+
+// StartFlow creates and starts a flow of sizeBytes from src to dst.
+// onDelivered (optional) fires at the receiver when all bytes arrive;
+// onComplete (optional) fires at the sender when all bytes are acked.
+func (d *Driver) StartFlow(src, dst graph.NodeID, sizeBytes int64, sel Selection,
+	onDelivered, onComplete func(*tcp.Flow)) (*tcp.Flow, error) {
+
+	paths, err := d.PathsFor(src, dst, sel)
+	if err != nil {
+		return nil, err
+	}
+	return d.StartFlowOnPaths(paths, sizeBytes, onDelivered, onComplete)
+}
+
+// StartFlowOnPaths starts a flow over explicitly chosen paths (used by
+// the adaptive selector and custom policies).
+func (d *Driver) StartFlowOnPaths(paths []graph.Path, sizeBytes int64,
+	onDelivered, onComplete func(*tcp.Flow)) (*tcp.Flow, error) {
+
+	f, err := tcp.NewFlow(d.Net, d.TCP, paths, sizeBytes)
+	if err != nil {
+		return nil, err
+	}
+	f.OnDelivered = onDelivered
+	d.Flows++
+	f.OnComplete = func(fl *tcp.Flow) {
+		d.Completed++
+		if onComplete != nil {
+			onComplete(fl)
+		}
+	}
+	f.Start()
+	return f, nil
+}
+
+// MustRunUntil drives the engine to the deadline and returns an error if
+// fewer than want flows completed — the signal that a workload stalled.
+func (d *Driver) MustRunUntil(deadline sim.Time, want int64) error {
+	d.Eng.RunUntil(deadline)
+	if d.Completed < want {
+		return fmt.Errorf("workload: %d of %d flows completed by %v (drops=%d)",
+			d.Completed, want, deadline, d.Net.TotalDrops())
+	}
+	return nil
+}
