@@ -6,31 +6,48 @@
 //	pnetbench -list
 //	pnetbench -exp fig6a
 //	pnetbench -exp all -scale full -seed 7
+//	pnetbench -exp fig6c -metrics m.jsonl -trace t.jsonl
 //
 // Each experiment prints the rows/series of the corresponding paper
 // artifact. The default "small" scale shrinks topologies and flow sizes
 // to finish quickly; "-scale full" runs the paper's sizes (some take
 // hours, like the original artifact). See EXPERIMENTS.md for the mapping
 // and recorded results.
+//
+// Telemetry: -metrics streams JSONL samples (link queue depth and
+// utilization, per-plane bytes, engine event rate, flow and solver
+// records, final counter snapshot); -trace streams per-packet lifecycle
+// events (enqueue/drop/trim/deliver). Both accept a file path or "-" for
+// stdout. -pprof serves net/http/pprof on the given address for live
+// profiling of long runs. See README.md "Telemetry" for the schemas.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
 	"pnet/internal/exp"
+	"pnet/internal/obs"
+	"pnet/internal/sim"
 )
 
 func main() {
 	var (
-		expID  = flag.String("exp", "", "experiment id to run, or 'all'")
-		scale  = flag.String("scale", "small", "small | full")
-		seed   = flag.Int64("seed", 1, "random seed")
-		list   = flag.Bool("list", false, "list experiments")
-		timing = flag.Bool("time", true, "print wall-clock time per experiment")
-		format = flag.String("format", "table", "table | csv")
+		expID   = flag.String("exp", "", "experiment id to run, or 'all'")
+		scale   = flag.String("scale", "small", "small | full")
+		seed    = flag.Int64("seed", 1, "random seed")
+		list    = flag.Bool("list", false, "list experiments")
+		timing  = flag.Bool("time", true, "print wall-clock time per experiment")
+		format  = flag.String("format", "table", "table | csv | json")
+		metrics = flag.String("metrics", "", "stream metric samples as JSONL to this file ('-' = stdout)")
+		trace   = flag.String("trace", "", "stream packet lifecycle events as JSONL to this file ('-' = stdout)")
+		sample  = flag.Duration("sample", 0, "sampling interval for -metrics (default 10us of sim time)")
+		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -56,6 +73,37 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *pprof != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprof, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pnetbench: pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pnetbench: pprof on http://%s/debug/pprof/\n", *pprof)
+	}
+
+	var collector *obs.Collector
+	var closers []io.Closer
+	if *metrics != "" || *trace != "" {
+		collector = obs.NewCollector()
+		if *sample > 0 {
+			collector.Interval = sim.Time(sample.Nanoseconds()) * sim.Nanosecond
+		}
+		if w, c := openSink(*metrics); w != nil {
+			collector.StreamMetrics(w)
+			if c != nil {
+				closers = append(closers, c)
+			}
+		}
+		if w, c := openSink(*trace); w != nil {
+			collector.StreamTrace(w)
+			if c != nil {
+				closers = append(closers, c)
+			}
+		}
+		params.Obs = collector
+	}
+
 	var toRun []exp.Experiment
 	if *expID == "all" {
 		toRun = exp.All()
@@ -71,13 +119,53 @@ func main() {
 	for _, e := range toRun {
 		start := time.Now()
 		table := e.Run(params)
-		if *format == "csv" {
-			fmt.Printf("# %s: %s\n%s\n", table.ID, table.Title, table.CSV())
-		} else {
+		elapsed := time.Since(start)
+		switch *format {
+		case "csv":
+			fmt.Printf("# %s: %s\n%s", table.ID, table.Title, table.CSV())
+			if *timing {
+				// Trailing comment row keeps the CSV parseable while
+				// preserving the timing line.
+				fmt.Printf("# %s in %v at scale %s\n", e.ID, elapsed.Round(time.Millisecond), params.Scale)
+			}
+			fmt.Println()
+		case "json":
+			fmt.Println(table.JSON(elapsed.Seconds()))
+		default:
 			fmt.Println(table.String())
-		}
-		if *timing && *format != "csv" {
-			fmt.Printf("(%s in %v at scale %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond), params.Scale)
+			if *timing {
+				fmt.Printf("(%s in %v at scale %s)\n\n", e.ID, elapsed.Round(time.Millisecond), params.Scale)
+			}
 		}
 	}
+
+	if collector != nil {
+		if err := collector.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "pnetbench: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	for _, c := range closers {
+		if err := c.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "pnetbench: telemetry: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// openSink resolves a -metrics/-trace destination: "" = off, "-" =
+// stdout (not closed), anything else = created file (returned as closer).
+func openSink(path string) (io.Writer, io.Closer) {
+	switch path {
+	case "":
+		return nil, nil
+	case "-":
+		return os.Stdout, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pnetbench: %v\n", err)
+		os.Exit(1)
+	}
+	return f, f
 }

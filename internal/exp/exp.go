@@ -12,10 +12,18 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
+
+	"pnet/internal/mcf"
+	"pnet/internal/obs"
+	"pnet/internal/sim"
+	"pnet/internal/tcp"
+	"pnet/internal/topo"
+	"pnet/internal/workload"
 )
 
 // Scale selects experiment sizing.
@@ -41,6 +49,39 @@ type Params struct {
 	// Seed makes runs reproducible; experiments derive all randomness
 	// from it.
 	Seed int64
+	// Obs, when non-nil, collects telemetry: packet-simulation
+	// experiments attach tracers/samplers to every network they build,
+	// and LP-backed experiments record solver instrumentation. Nil (the
+	// default) costs nothing.
+	Obs *obs.Collector
+}
+
+// newDriver builds a workload driver, instrumented when telemetry is on.
+// Experiments must create drivers through this so every network a run
+// touches reports to the same collector.
+func (p Params) newDriver(tp *topo.Topology, simCfg sim.Config, tcpCfg tcp.Config) *workload.Driver {
+	d := workload.NewDriver(tp, simCfg, tcpCfg)
+	if p.Obs != nil {
+		d.Instrument(p.Obs)
+	}
+	return d
+}
+
+// recordSolver forwards one LP/flow-solver result to the collector.
+func (p Params) recordSolver(expID, solver string, k int, r mcf.Result) {
+	if p.Obs == nil {
+		return
+	}
+	p.Obs.RecordSolver(obs.SolverRecord{
+		Exp:        expID,
+		Solver:     solver,
+		K:          k,
+		Lambda:     r.Lambda,
+		Phases:     r.Stats.Phases,
+		Iterations: r.Stats.Iterations,
+		Attempts:   r.Stats.Attempts,
+		WallSec:    r.Stats.Wall.Seconds(),
+	})
 }
 
 // Table is a rendered experiment result.
@@ -108,6 +149,27 @@ func (t Table) CSV() string {
 		writeRow(row)
 	}
 	return b.String()
+}
+
+// JSON renders the table as a single JSON object, including the
+// elapsed wall-clock seconds, for machine consumers of -format json.
+func (t Table) JSON(elapsedSec float64) string {
+	rows := t.Rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	b, err := json.Marshal(struct {
+		ID      string     `json:"id"`
+		Title   string     `json:"title"`
+		Note    string     `json:"note,omitempty"`
+		Header  []string   `json:"header"`
+		Rows    [][]string `json:"rows"`
+		Elapsed float64    `json:"elapsed_s"`
+	}{t.ID, t.Title, t.Note, t.Header, rows, elapsedSec})
+	if err != nil {
+		panic(err) // strings-only struct: cannot fail
+	}
+	return string(b)
 }
 
 // Experiment pairs an identifier with its runner.

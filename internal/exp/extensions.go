@@ -58,7 +58,7 @@ func runIncast(p Params) Table {
 	}
 	for _, v := range variants {
 		for _, fan := range fanIns {
-			d := workload.NewDriver(v.tp, v.simCfg, v.tcpCfg)
+			d := p.newDriver(v.tp, v.simCfg, v.tcpCfg)
 			res, err := workload.RunIncast(d, workload.IncastConfig{
 				FanIn:      fan,
 				BlockBytes: 256_000,
@@ -79,7 +79,7 @@ func runIncast(p Params) Table {
 		}
 	}
 	for _, fan := range fanIns {
-		row := ndpIncast(set.ParallelHomo, fan, p.Seed)
+		row := ndpIncast(set.ParallelHomo, fan, p)
 		t.Rows = append(t.Rows, row)
 	}
 	return t
@@ -87,14 +87,17 @@ func runIncast(p Params) Table {
 
 // ndpIncast runs the NDP variant: 8-packet queues with trimming, each
 // response sprayed over 4 cross-plane shortest paths.
-func ndpIncast(tp *topo.Topology, fanIn int, seed int64) []string {
+func ndpIncast(tp *topo.Topology, fanIn int, p Params) []string {
 	eng := sim.NewEngine()
 	net := sim.NewNetwork(eng, tp.G, sim.Config{
 		QueueBytes:  8 * 1500,
 		TrimToBytes: 64,
 	})
+	if p.Obs != nil {
+		p.Obs.AttachNetwork(eng, net)
+	}
 	pn := core.New(tp)
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(p.Seed))
 	var times []float64
 	const rounds = 7
 	for round := 0; round < rounds; round++ {
@@ -191,18 +194,18 @@ func runIsolation(p Params) Table {
 	}
 
 	// Baseline: unloaded network.
-	dBase := workload.NewDriver(tp, sim.Config{}, tcp.Config{})
+	dBase := p.newDriver(tp, sim.Config{}, tcp.Config{})
 	base := runRPC(dBase, workload.Selection{Policy: workload.ECMP})
 	t.Rows = append(t.Rows, []string{"unloaded", secs(base.Median), secs(base.P99), f2(1.0)})
 
 	// Shared: both tenants over all four planes.
-	dShared := workload.NewDriver(tp, sim.Config{}, tcp.Config{})
+	dShared := p.newDriver(tp, sim.Config{}, tcp.Config{})
 	startBulk(dShared, workload.Selection{Policy: workload.ECMP})
 	shared := runRPC(dShared, workload.Selection{Policy: workload.ECMP})
 	t.Rows = append(t.Rows, []string{"shared planes", secs(shared.Median), secs(shared.P99), f2(shared.P99 / base.P99)})
 
 	// Isolated: bulk pinned to planes {0,1}, RPCs to planes {2,3}.
-	dIso := workload.NewDriver(tp, sim.Config{}, tcp.Config{})
+	dIso := p.newDriver(tp, sim.Config{}, tcp.Config{})
 	if err := dIso.PNet.SetClass("bulk", []int{0, 1}); err != nil {
 		panic(err)
 	}

@@ -55,9 +55,9 @@ func fatTreeNUT(k, planes int, speed float64, serialSel, parallelSel workload.Se
 
 // permutationFCT starts one flow of sizeBytes per host (random
 // permutation) and returns mean FCT in seconds.
-func permutationFCT(tp *topo.Topology, sel workload.Selection, sizeBytes int64, seed int64) (float64, error) {
-	d := workload.NewDriver(tp, sim.Config{}, tcp.Config{})
-	rng := rand.New(rand.NewSource(seed))
+func permutationFCT(tp *topo.Topology, sel workload.Selection, sizeBytes int64, p Params) (float64, error) {
+	d := p.newDriver(tp, sim.Config{}, tcp.Config{})
+	rng := rand.New(rand.NewSource(p.Seed))
 	cs := workload.PermutationCommodities(tp, 1, rng)
 	var fcts []float64
 	for _, c := range cs {
@@ -103,7 +103,7 @@ func runFig9(p Params) Table {
 	for _, n := range nets {
 		row := []string{n.name}
 		for _, size := range sizes {
-			m, err := permutationFCT(n.tp, n.sel, size, p.Seed)
+			m, err := permutationFCT(n.tp, n.sel, size, p)
 			if err != nil {
 				row = append(row, "stall")
 				continue
@@ -190,7 +190,7 @@ func runTraceFCT(id string, cdf traces.SizeCDF, speed float64, topoKind string, 
 		Header: []string{"network", "median", "p90", "p99", "mean"},
 	}
 	for _, n := range nets {
-		d := workload.NewDriver(n.tp, sim.Config{}, tcp.Config{})
+		d := p.newDriver(n.tp, sim.Config{}, tcp.Config{})
 		res, err := workload.RunTrace(d, workload.TraceConfig{
 			CDF:          cdf,
 			LoopsPerHost: 4,

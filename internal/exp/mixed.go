@@ -36,7 +36,7 @@ func runMixed(p Params) Table {
 	}
 
 	mkDriver := func() *workload.Driver {
-		d := workload.NewDriver(tp, sim.Config{}, tcp.Config{})
+		d := p.newDriver(tp, sim.Config{}, tcp.Config{})
 		if err := d.PNet.SetClass("fattree", []int{0}); err != nil {
 			panic(err)
 		}

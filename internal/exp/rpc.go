@@ -31,7 +31,7 @@ func rpcNets(p Params) []netUnderTest {
 func rpcSamples(p Params, reqBytes, respBytes int64, loops, rounds int) map[string][]float64 {
 	out := make(map[string][]float64)
 	for _, n := range rpcNets(p) {
-		d := workload.NewDriver(n.tp, sim.Config{}, tcp.Config{})
+		d := p.newDriver(n.tp, sim.Config{}, tcp.Config{})
 		samples, err := workload.RunRPC(d, workload.RPCConfig{
 			ReqBytes:     reqBytes,
 			RespBytes:    respBytes,
@@ -122,7 +122,7 @@ func runFig11(p Params) Table {
 	}
 	for _, n := range rpcNets(p) {
 		for _, conc := range concurrencies {
-			d := workload.NewDriver(n.tp, sim.Config{}, tcp.Config{})
+			d := p.newDriver(n.tp, sim.Config{}, tcp.Config{})
 			samples, err := workload.RunRPC(d, workload.RPCConfig{
 				ReqBytes:     100_000,
 				RespBytes:    1500,

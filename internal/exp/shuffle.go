@@ -47,7 +47,7 @@ func runFig12(p Params) Table {
 		Header: []string{"network", "stage", "median", "p90", "max"},
 	}
 	for _, n := range nets {
-		d := workload.NewDriver(n.tp, sim.Config{}, tcp.Config{})
+		d := p.newDriver(n.tp, sim.Config{}, tcp.Config{})
 		times, err := workload.RunShuffle(d, cfg)
 		if err != nil {
 			t.Rows = append(t.Rows, []string{n.name, "stall", "", "", ""})

@@ -7,6 +7,8 @@ import (
 	"pnet/internal/graph"
 	"pnet/internal/mcf"
 	"pnet/internal/route"
+	"pnet/internal/sim"
+	"pnet/internal/tcp"
 	"pnet/internal/topo"
 	"pnet/internal/workload"
 )
@@ -126,7 +128,8 @@ func runFig6b(p Params) Table {
 
 // kspSweep measures permutation throughput across multipath degrees. The
 // K-path sets are prefixes of the K=maxK set, so Yen runs once per pair.
-func kspSweep(tp *topo.Topology, cs []route.Commodity, ks []int, eps float64, seed int64) []float64 {
+// rec, when non-nil, observes every solver result (for telemetry).
+func kspSweep(tp *topo.Topology, cs []route.Commodity, ks []int, eps float64, seed int64, rec func(k int, r mcf.Result)) []float64 {
 	maxK := ks[len(ks)-1]
 	full := route.KSPPathsSeeded(tp.G, cs, maxK, seed)
 	out := make([]float64, len(ks))
@@ -138,7 +141,11 @@ func kspSweep(tp *topo.Topology, cs []route.Commodity, ks []int, eps float64, se
 			}
 			paths[j] = ps
 		}
-		out[i] = mcf.FixedPaths(tp.G, cs, paths, mcf.Options{Epsilon: eps}).Lambda
+		r := mcf.FixedPaths(tp.G, cs, paths, mcf.Options{Epsilon: eps})
+		if rec != nil {
+			rec(k, r)
+		}
+		out[i] = r.Lambda
 	}
 	return out
 }
@@ -183,7 +190,9 @@ func runFig6c(p Params) Table {
 		set := topo.FatTreeSet(k, net.planes, 100)
 		tp := net.pick(set)
 		cs := workload.PermutationCommodities(tp, 100, rng)
-		vals := kspSweep(tp, cs, ks, 0.08, p.Seed)
+		vals := kspSweep(tp, cs, ks, 0.08, p.Seed, func(k int, r mcf.Result) {
+			p.recordSolver("fig6c", "gk-fixed", k, r)
+		})
 		if net.planes == 1 {
 			base = vals[len(vals)-1] // saturated serial low-bw
 		}
@@ -200,7 +209,29 @@ func runFig6c(p Params) Table {
 		}
 		t.Rows = append(t.Rows, row)
 	}
+	companionFig6c(p)
 	return t
+}
+
+// companionFig6c runs a small packet-level permutation alongside the
+// LP sweep when telemetry is enabled, so `-trace`/`-metrics` capture a
+// real packet lifecycle (queue depths, enqueue/deliver events, per-flow
+// FCTs) for this figure. The LP itself never moves packets.
+func companionFig6c(p Params) {
+	if p.Obs == nil {
+		return
+	}
+	tp := topo.FatTreeSet(4, 2, 100).ParallelHomo // 16 hosts, 2 planes: cheap
+	d := p.newDriver(tp, sim.Config{}, tcp.Config{})
+	rng := rand.New(rand.NewSource(p.Seed))
+	cs := workload.PermutationCommodities(tp, 1, rng)
+	sel := workload.Selection{Policy: workload.KSP, K: 4}
+	for _, c := range cs {
+		if _, err := d.StartFlow(c.Src, c.Dst, 1_000_000, sel, nil, nil); err != nil {
+			return
+		}
+	}
+	_ = d.MustRunUntil(10*sim.Second, int64(len(cs)))
 }
 
 func runFig7(p Params) Table {
@@ -210,7 +241,9 @@ func runFig7(p Params) Table {
 
 	ideal := func(tp *topo.Topology) float64 {
 		g, cs := workload.RackAllToAll(tp, 10)
-		return mcf.Free(g, cs, mcf.Options{Epsilon: eps}).Lambda
+		r := mcf.Free(g, cs, mcf.Options{Epsilon: eps})
+		p.recordSolver("fig7", "gk-free", 0, r)
+		return r.Lambda
 	}
 
 	baseSet := topo.JellyfishSet(sw, deg, hps, 2, 100, p.Seed)
@@ -409,7 +442,9 @@ func runFig8c(p Params) Table {
 		}
 		rng := rand.New(rand.NewSource(p.Seed))
 		cs := workload.PermutationCommodities(tp, 100, rng)
-		vals := kspSweep(tp, cs, ks, 0.08, p.Seed)
+		vals := kspSweep(tp, cs, ks, 0.08, p.Seed, func(k int, r mcf.Result) {
+			p.recordSolver("fig8c", "gk-fixed", k, r)
+		})
 		if net.planes == 1 {
 			base = vals[len(vals)-1]
 		}

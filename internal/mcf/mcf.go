@@ -19,6 +19,7 @@ package mcf
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"pnet/internal/graph"
 	"pnet/internal/route"
@@ -38,6 +39,21 @@ func (o Options) epsilon() float64 {
 	return o.Epsilon
 }
 
+// SolverStats instruments an approximation-solver run: how much work the
+// Garg–Könemann iteration did and how long it took in wall time. The
+// telemetry layer (internal/obs) exports these per invocation.
+type SolverStats struct {
+	// Phases counts completed GK phases, summed over rescaling attempts.
+	Phases int
+	// Iterations counts inner augmentations (oracle calls that shipped
+	// flow), summed over rescaling attempts.
+	Iterations int64
+	// Attempts counts adaptive demand-rescaling runs of the core solver.
+	Attempts int
+	// Wall is the measured wall-clock time of the whole solve.
+	Wall time.Duration
+}
+
 // Result reports a max-concurrent-flow computation.
 type Result struct {
 	// Lambda is the concurrent throughput multiplier: every commodity can
@@ -49,6 +65,9 @@ type Result struct {
 	// Lambda is necessarily 0 unless those commodities were skipped; they
 	// are included here so callers can detect partitioned inputs.
 	Unrouted int
+	// Stats holds solver instrumentation; zero for the closed-form
+	// (Pinned) and exact (simplex) paths.
+	Stats SolverStats
 }
 
 func result(lambda float64, cs []route.Commodity, unrouted int) Result {
@@ -119,8 +138,10 @@ func FixedPaths(g *graph.Graph, cs []route.Commodity, paths [][]graph.Path, opts
 		}
 		return paths[j][best], true
 	}
-	lambda := adaptiveGK(g, cs, oracle, opts.epsilon())
-	return result(lambda, cs, 0)
+	lambda, stats := adaptiveGK(g, cs, oracle, opts.epsilon())
+	r := result(lambda, cs, 0)
+	r.Stats = stats
+	return r
 }
 
 // Free computes max concurrent flow with no path restriction ("ideal"
@@ -155,8 +176,10 @@ func Free(g *graph.Graph, cs []route.Commodity, opts Options) Result {
 	if unrouted > 0 {
 		return result(0, cs, unrouted)
 	}
-	lambda := adaptiveGK(g, cs, oracle, eps)
-	return result(lambda, cs, 0)
+	lambda, stats := adaptiveGK(g, cs, oracle, eps)
+	r := result(lambda, cs, 0)
+	r.Stats = stats
+	return r
 }
 
 type cachedPath struct {
@@ -179,7 +202,9 @@ func pathLen(p graph.Path, length []float64) float64 {
 // larger than the demand scale. The driver first scales demands by an
 // upper bound on λ (source-capacity bound), then re-runs with the measured
 // estimate if too few phases completed for the requested accuracy.
-func adaptiveGK(g *graph.Graph, cs []route.Commodity, oracle func(int, []float64) (graph.Path, bool), eps float64) float64 {
+func adaptiveGK(g *graph.Graph, cs []route.Commodity, oracle func(int, []float64) (graph.Path, bool), eps float64) (float64, SolverStats) {
+	start := time.Now()
+	var stats SolverStats
 	// Upper bound: commodity j cannot exceed capOut(src)/demand.
 	ub := math.Inf(1)
 	for _, c := range cs {
@@ -194,7 +219,8 @@ func adaptiveGK(g *graph.Graph, cs []route.Commodity, oracle func(int, []float64
 		}
 	}
 	if math.IsInf(ub, 1) || ub <= 0 {
-		return 0
+		stats.Wall = time.Since(start)
+		return 0, stats
 	}
 	scale := ub
 	minPhases := int(math.Ceil(2 / eps))
@@ -205,7 +231,10 @@ func adaptiveGK(g *graph.Graph, cs []route.Commodity, oracle func(int, []float64
 			scaled[i] = c
 			scaled[i].Demand = c.Demand * scale
 		}
-		lam, phases := gargKonemann(g, scaled, oracle, eps)
+		lam, phases, iters := gargKonemann(g, scaled, oracle, eps)
+		stats.Attempts++
+		stats.Phases += phases
+		stats.Iterations += iters
 		lambda = lam * scale
 		if phases >= minPhases {
 			break
@@ -221,14 +250,16 @@ func adaptiveGK(g *graph.Graph, cs []route.Commodity, oracle func(int, []float64
 		// scale on the estimate so the next run completes ~T phases.
 		scale = lambda
 	}
-	return lambda
+	stats.Wall = time.Since(start)
+	return lambda, stats
 }
 
 // gargKonemann runs the Fleischer variant of the Garg–Könemann max
 // concurrent flow algorithm. oracle(j, lengths) returns commodity j's
 // cheapest usable path under the given link lengths. It returns the
-// feasible concurrent ratio and the number of full phases completed.
-func gargKonemann(g *graph.Graph, cs []route.Commodity, oracle func(int, []float64) (graph.Path, bool), eps float64) (float64, int) {
+// feasible concurrent ratio, the number of full phases completed, and
+// the number of inner augmentation iterations.
+func gargKonemann(g *graph.Graph, cs []route.Commodity, oracle func(int, []float64) (graph.Path, bool), eps float64) (float64, int, int64) {
 	m := 0
 	cap := make([]float64, g.NumLinks())
 	for i := 0; i < g.NumLinks(); i++ {
@@ -239,7 +270,7 @@ func gargKonemann(g *graph.Graph, cs []route.Commodity, oracle func(int, []float
 		}
 	}
 	if m == 0 || len(cs) == 0 {
-		return 0, 0
+		return 0, 0, 0
 	}
 
 	delta := math.Pow(float64(m)/(1-eps), -1/eps)
@@ -255,6 +286,7 @@ func gargKonemann(g *graph.Graph, cs []route.Commodity, oracle func(int, []float
 	routed := make([]float64, len(cs)) // total flow shipped per commodity
 	scaleT := math.Log(1/delta) / math.Log(1+eps)
 	phases := 0
+	var iters int64
 
 	for dual < 1 {
 		for j := range cs {
@@ -262,8 +294,9 @@ func gargKonemann(g *graph.Graph, cs []route.Commodity, oracle func(int, []float
 			for remaining > 0 && dual < 1 {
 				p, ok := oracle(j, length)
 				if !ok {
-					return 0, phases
+					return 0, phases, iters
 				}
+				iters++
 				// Bottleneck capacity along the path.
 				bottleneck := math.Inf(1)
 				for _, e := range p.Links {
@@ -292,7 +325,7 @@ func gargKonemann(g *graph.Graph, cs []route.Commodity, oracle func(int, []float
 			lambda = r
 		}
 	}
-	return lambda / scaleT, phases
+	return lambda / scaleT, phases, iters
 }
 
 func countEmpty(paths [][]graph.Path) int {

@@ -221,3 +221,18 @@ func TestResultTotalThroughput(t *testing.T) {
 	r := FixedPaths(g, cs, paths, Options{Epsilon: 0.05})
 	almost(t, "total", r.TotalThroughput, r.Lambda*10, 1e-9)
 }
+
+func TestSolverStatsPopulated(t *testing.T) {
+	g, cs, paths := twoPathNet()
+	r := FixedPaths(g, cs, paths, Options{Epsilon: 0.1})
+	if r.Stats.Phases <= 0 || r.Stats.Iterations <= 0 || r.Stats.Attempts <= 0 {
+		t.Errorf("FixedPaths stats = %+v", r.Stats)
+	}
+	if r.Stats.Wall <= 0 {
+		t.Errorf("FixedPaths wall = %v", r.Stats.Wall)
+	}
+	rf := Free(g, cs, Options{Epsilon: 0.1})
+	if rf.Stats.Phases <= 0 || rf.Stats.Iterations <= 0 || rf.Stats.Wall <= 0 {
+		t.Errorf("Free stats = %+v", rf.Stats)
+	}
+}

@@ -59,11 +59,18 @@ type Summary struct {
 
 // Summarize computes a Summary; it panics on an empty slice.
 func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("metrics: summarize of empty slice")
+	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
+	var sum float64
+	for _, x := range s {
+		sum += x
+	}
 	return Summary{
 		N:      len(s),
-		Mean:   Mean(s),
+		Mean:   sum / float64(len(s)),
 		Median: percentileSorted(s, 50),
 		P90:    percentileSorted(s, 90),
 		P99:    percentileSorted(s, 99),

@@ -61,6 +61,10 @@ type Flow struct {
 	net *sim.Network
 	cfg Config
 
+	// ID labels the flow in packet traces (sim.Packet.FlowID); assign
+	// before Start for per-flow telemetry.
+	ID int64
+
 	SizePkts int64
 	fwd      [][]graph.LinkID // data paths (spray round-robin)
 	rev      [][]graph.LinkID // control return paths
@@ -186,6 +190,7 @@ func (f *Flow) sendNext() {
 	p.Route = f.fwd[f.sprayRR]
 	p.Deliver = f.dataH
 	p.Seq = seq
+	p.FlowID = f.ID
 	f.sprayRR = (f.sprayRR + 1) % len(f.fwd)
 	f.inflight++
 	f.net.Send(p)
@@ -228,6 +233,7 @@ func (f *Flow) onData(p *sim.Packet) {
 	ctl.Deliver = f.ctlH
 	ctl.Seq = seq
 	ctl.Aux = kind
+	ctl.FlowID = f.ID
 	f.returnRR = (f.returnRR + 1) % len(f.rev)
 	f.net.Send(ctl)
 }

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+
+	"pnet/internal/sim"
+)
+
+// FlowRecord captures one completed transport flow.
+type FlowRecord struct {
+	Type        string  `json:"type"` // "flow"
+	ID          int64   `json:"id"`
+	Transport   string  `json:"transport"` // "tcp" | "ndp"
+	Src         int64   `json:"src"`
+	Dst         int64   `json:"dst"`
+	Bytes       int64   `json:"bytes"`
+	FCT         float64 `json:"fct_s"`
+	Retransmits int64   `json:"retransmits"`
+	Subflows    int     `json:"subflows"`
+	// Planes lists the distinct dataplanes the flow's paths use — the
+	// path/plane choice the paper's §7 monitoring must merge.
+	Planes []int32 `json:"planes"`
+}
+
+// SolverRecord captures one LP/flow-solver invocation: which experiment
+// asked, which solver ran, and the Garg–Könemann phase/iteration counts
+// and wall time from internal/mcf.
+type SolverRecord struct {
+	Type       string  `json:"type"` // "solver"
+	Exp        string  `json:"exp"`
+	Solver     string  `json:"solver"` // "gk-fixed" | "gk-free" | "maxmin" | "simplex"
+	K          int     `json:"k,omitempty"`
+	Lambda     float64 `json:"lambda"`
+	Phases     int     `json:"phases"`
+	Iterations int64   `json:"iterations"`
+	Attempts   int     `json:"attempts"`
+	WallSec    float64 `json:"wall_s"`
+}
+
+// Collector bundles the telemetry of one harness run: a metric registry,
+// optional JSONL streams, and per-network samplers/tracers. Every method
+// is nil-safe so instrumented code needs no guards of its own.
+type Collector struct {
+	// Reg aggregates counters and histograms across everything the
+	// collector sees (flows, solver calls, attach events).
+	Reg *Registry
+	// Interval is the sampling period in sim time; zero selects 10 µs.
+	Interval sim.Time
+
+	// Flows and Solver accumulate records in memory for programmatic use
+	// (the JSONL streams carry the same data).
+	Flows  []FlowRecord
+	Solver []SolverRecord
+
+	mw       *MetricsWriter
+	tw       *bufio.Writer // shared by every network's JSONLSink
+	samplers []*Sampler
+	sinks    []*JSONLSink
+	nets     int
+}
+
+// NewCollector returns a collector with a fresh registry and no streams.
+func NewCollector() *Collector { return &Collector{Reg: NewRegistry()} }
+
+// StreamMetrics mirrors samples, flow/solver records, and the final
+// metric snapshot to w as JSONL.
+func (c *Collector) StreamMetrics(w io.Writer) { c.mw = NewMetricsWriter(w) }
+
+// StreamTrace streams packet lifecycle events of every attached network
+// to w as JSONL.
+func (c *Collector) StreamTrace(w io.Writer) { c.tw = bufio.NewWriterSize(w, 1<<16) }
+
+// MetricsLines returns the number of metric records written so far.
+func (c *Collector) MetricsLines() int64 {
+	if c == nil || c.mw == nil {
+		return 0
+	}
+	return c.mw.Lines
+}
+
+// TraceEvents returns the number of trace lines written so far.
+func (c *Collector) TraceEvents() int64 {
+	if c == nil {
+		return 0
+	}
+	var n int64
+	for _, s := range c.sinks {
+		n += s.Events
+	}
+	return n
+}
+
+func (c *Collector) interval() sim.Time {
+	if c.Interval > 0 {
+		return c.Interval
+	}
+	return 10 * sim.Microsecond
+}
+
+// AttachNetwork instruments one simulation: the network's tracer is
+// pointed at the trace stream (if any) and a sampler is started on the
+// engine (if a metrics stream is set). Safe to call on a nil collector.
+// It returns the sampler, or nil if none was started.
+func (c *Collector) AttachNetwork(eng *sim.Engine, net *sim.Network) *Sampler {
+	if c == nil {
+		return nil
+	}
+	id := c.nets
+	c.nets++
+	c.Reg.Counter("networks.attached").Inc()
+	if c.tw != nil {
+		sink := NewJSONLSink(c.tw, eng, net.G)
+		net.Tracer = sink
+		c.sinks = append(c.sinks, sink)
+	}
+	var sampler *Sampler
+	if c.mw != nil {
+		sampler = NewSampler(eng, net, c.interval())
+		sampler.NetID = id
+		sampler.stream = c.mw
+		sampler.Start()
+		c.samplers = append(c.samplers, sampler)
+	}
+	return sampler
+}
+
+// RecordFlow accepts one completed flow.
+func (c *Collector) RecordFlow(r FlowRecord) {
+	if c == nil {
+		return
+	}
+	r.Type = "flow"
+	c.Flows = append(c.Flows, r)
+	c.Reg.Counter("flows.completed").Inc()
+	c.Reg.Counter("flows.bytes").Add(r.Bytes)
+	c.Reg.Counter("flows.retransmits").Add(r.Retransmits)
+	if r.FCT > 0 {
+		c.Reg.Histogram("flow.fct_s").Observe(r.FCT)
+	}
+	if c.mw != nil {
+		c.mw.write(r)
+	}
+}
+
+// RecordSolver accepts one solver invocation.
+func (c *Collector) RecordSolver(r SolverRecord) {
+	if c == nil {
+		return
+	}
+	r.Type = "solver"
+	c.Solver = append(c.Solver, r)
+	c.Reg.Counter("solver.calls").Inc()
+	c.Reg.Counter("solver.phases").Add(int64(r.Phases))
+	c.Reg.Counter("solver.iterations").Add(r.Iterations)
+	if r.WallSec > 0 {
+		c.Reg.Histogram("solver.wall_s").Observe(r.WallSec)
+	}
+	if c.mw != nil {
+		c.mw.write(r)
+	}
+}
+
+// FCTs returns the recorded flow completion times in seconds.
+func (c *Collector) FCTs() []float64 {
+	if c == nil {
+		return nil
+	}
+	out := make([]float64, 0, len(c.Flows))
+	for _, f := range c.Flows {
+		out = append(out, f.FCT)
+	}
+	return out
+}
+
+// Close stops samplers, dumps the registry snapshot to the metrics
+// stream, and flushes both streams. It returns the first error any
+// stream hit.
+func (c *Collector) Close() error {
+	if c == nil {
+		return nil
+	}
+	var first error
+	for _, s := range c.samplers {
+		s.Stop()
+	}
+	if c.mw != nil {
+		for _, m := range c.Reg.Snapshot() {
+			c.mw.write(m)
+		}
+		if err := c.mw.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, s := range c.sinks {
+		if err := s.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"strconv"
+
+	"pnet/internal/graph"
+	"pnet/internal/sim"
+)
+
+// JSONLSink is a sim.Tracer that streams packet lifecycle events as one
+// JSON object per line, htsim-log style:
+//
+//	{"type":"pkt","ev":"enqueue","t_ps":1280,"link":3,"plane":0,"flow":7,"seq":41,"size":1500}
+//
+// "ev" is one of enqueue | drop | trim | deliver; "t_ps" is the sim
+// timestamp in picoseconds; "trimmed":true is added for packets whose
+// payload was already cut to a header. Lines are hand-built into a
+// reused buffer so tracing costs no per-event allocations beyond the
+// buffered writes themselves.
+type JSONLSink struct {
+	eng *sim.Engine
+	g   *graph.Graph
+	w   *bufio.Writer
+	buf []byte
+
+	// Events counts lines written.
+	Events int64
+	err    error
+}
+
+// NewJSONLSink builds a sink writing to w. Call Flush when the
+// simulation is done. If w is already a *bufio.Writer it is used
+// directly — sinks for different networks in one run must share one
+// buffer, or their independent flushes would interleave mid-line.
+func NewJSONLSink(w io.Writer, eng *sim.Engine, g *graph.Graph) *JSONLSink {
+	bw, ok := w.(*bufio.Writer)
+	if !ok {
+		bw = bufio.NewWriterSize(w, 1<<16)
+	}
+	return &JSONLSink{eng: eng, g: g, w: bw, buf: make([]byte, 0, 160)}
+}
+
+// PacketEvent implements sim.Tracer.
+func (s *JSONLSink) PacketEvent(ev sim.TraceEvent, p *sim.Packet, link graph.LinkID) {
+	b := s.buf[:0]
+	b = append(b, `{"type":"pkt","ev":"`...)
+	b = append(b, ev.String()...)
+	b = append(b, `","t_ps":`...)
+	b = strconv.AppendInt(b, int64(s.eng.Now()), 10)
+	b = append(b, `,"link":`...)
+	b = strconv.AppendInt(b, int64(link), 10)
+	b = append(b, `,"plane":`...)
+	b = strconv.AppendInt(b, int64(s.g.Link(link).Plane), 10)
+	b = append(b, `,"flow":`...)
+	b = strconv.AppendInt(b, p.FlowID, 10)
+	b = append(b, `,"seq":`...)
+	b = strconv.AppendInt(b, p.Seq, 10)
+	b = append(b, `,"size":`...)
+	b = strconv.AppendInt(b, int64(p.Size), 10)
+	if p.Trimmed {
+		b = append(b, `,"trimmed":true`...)
+	}
+	b = append(b, '}', '\n')
+	s.buf = b
+	if _, err := s.w.Write(b); err != nil && s.err == nil {
+		s.err = err
+	}
+	s.Events++
+}
+
+// Flush drains the buffer and returns the first write error, if any.
+func (s *JSONLSink) Flush() error {
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// MetricsWriter streams metric records — samples, flow records, solver
+// records, metric snapshots — as JSONL. Unlike the packet sink this is
+// not a hot path, so records go through encoding/json.
+type MetricsWriter struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+
+	// Lines counts records written.
+	Lines int64
+	err   error
+}
+
+// NewMetricsWriter builds a writer streaming to w.
+func NewMetricsWriter(w io.Writer) *MetricsWriter {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	return &MetricsWriter{w: bw, enc: json.NewEncoder(bw)}
+}
+
+func (m *MetricsWriter) write(v any) {
+	if m.err != nil {
+		return
+	}
+	if err := m.enc.Encode(v); err != nil {
+		m.err = err
+		return
+	}
+	m.Lines++
+}
+
+// Flush drains the buffer and returns the first error, if any.
+func (m *MetricsWriter) Flush() error {
+	if err := m.w.Flush(); err != nil && m.err == nil {
+		m.err = err
+	}
+	return m.err
+}
+
+// JSONL record shapes. Every line carries "type" so a stream mixing
+// sample kinds, flow records, and solver records stays self-describing.
+type linkLine struct {
+	Type       string  `json:"type"` // "link"
+	Net        int     `json:"net"`
+	TPs        int64   `json:"t_ps"`
+	Link       int64   `json:"link"`
+	Plane      int32   `json:"plane"`
+	QueueBytes int32   `json:"queue_bytes"`
+	Util       float64 `json:"util"`
+	TxBytes    int64   `json:"tx_bytes"`
+	Drops      int64   `json:"drops"`
+}
+
+type planeLine struct {
+	Type    string `json:"type"` // "plane"
+	Net     int    `json:"net"`
+	TPs     int64  `json:"t_ps"`
+	Plane   int32  `json:"plane"`
+	TxBytes int64  `json:"tx_bytes"`
+}
+
+type engineLine struct {
+	Type     string `json:"type"` // "engine"
+	Net      int    `json:"net"`
+	TPs      int64  `json:"t_ps"`
+	Events   uint64 `json:"events"`
+	HeapLen  int    `json:"heap"`
+	WallNano int64  `json:"wall_ns"`
+}
+
+func (m *MetricsWriter) writeLinkSample(net int, s LinkSample) {
+	m.write(linkLine{
+		Type: "link", Net: net, TPs: int64(s.T), Link: int64(s.Link), Plane: s.Plane,
+		QueueBytes: s.QueueBytes, Util: s.Util, TxBytes: s.TxBytes, Drops: s.Drops,
+	})
+}
+
+func (m *MetricsWriter) writePlaneSample(net int, s PlaneSample) {
+	m.write(planeLine{Type: "plane", Net: net, TPs: int64(s.T), Plane: s.Plane, TxBytes: s.TxBytes})
+}
+
+func (m *MetricsWriter) writeEngineSample(net int, s EngineSample) {
+	m.write(engineLine{
+		Type: "engine", Net: net, TPs: int64(s.T), Events: s.Events,
+		HeapLen: s.HeapLen, WallNano: s.Wall.Nanoseconds(),
+	})
+}

@@ -1,0 +1,221 @@
+// Package obs is the simulator's telemetry layer: named counters,
+// gauges, and log-bucketed histograms (this file); a periodic Sampler
+// that snapshots per-link and per-plane state from a running simulation
+// (sampler.go); JSONL sinks for packet traces and metric streams
+// (jsonl.go); and a Collector that bundles them for the experiment
+// harness (collector.go).
+//
+// The paper's §7 treats per-plane monitoring as a first-class concern of
+// P-Nets, and every figure in its evaluation is a time series or a
+// distribution. This package makes those observable while a simulation
+// runs instead of reconstructable only from final tables.
+//
+// Everything here is stdlib-only and single-threaded, like the simulator
+// itself. All hooks are nil-safe: a nil *Collector accepts records and
+// does nothing, and an unattached network pays only the existing
+// one-branch cost of sim.Network's nil Tracer check.
+package obs
+
+import (
+	"math"
+	"sort"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v }
+
+// Gauge is a last-value-wins float metric.
+type Gauge struct{ v float64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// histBuckets spans 2^-64 .. 2^63, wide enough for picosecond times
+// expressed in seconds on one end and byte counts on the other.
+const histBuckets = 128
+
+// Histogram is a log-bucketed histogram: bucket i counts observations in
+// [2^(i-65), 2^(i-64)), so relative error of a quantile estimate is at
+// most 2x regardless of scale — the right trade for latency-style
+// distributions that span many decades.
+type Histogram struct {
+	buckets  [histBuckets]int64
+	count    int64
+	sum      float64
+	min, max float64
+}
+
+func bucketOf(v float64) int {
+	if v <= 0 {
+		return 0
+	}
+	_, exp := math.Frexp(v) // v = frac * 2^exp, frac in [0.5, 1)
+	idx := exp + 64
+	if idx < 0 {
+		return 0
+	}
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.buckets[bucketOf(v)]++
+	h.count++
+	h.sum += v
+	if h.count == 1 || v < h.min {
+		h.min = v
+	}
+	if h.count == 1 || v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the exact mean (the sum is tracked outside the buckets).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min and Max return the exact extremes.
+func (h *Histogram) Min() float64 { return h.min }
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile returns an estimate of the q-th quantile (0 < q ≤ 1): the
+// geometric midpoint of the bucket where the cumulative count crosses q,
+// clamped to the observed [min, max]. Accurate to within the 2x bucket
+// width.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= target {
+			lo := math.Ldexp(1, i-65)
+			hi := math.Ldexp(1, i-64)
+			v := math.Sqrt(lo * hi)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Registry is a get-or-create namespace of metrics. The simulator is
+// single-threaded, so there is no locking; a registry must not be shared
+// across goroutines.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// MetricSnapshot is one metric's exported state.
+type MetricSnapshot struct {
+	Type string `json:"type"` // always "metric"
+	Name string `json:"name"`
+	Kind string `json:"kind"` // counter | gauge | histogram
+	// Value is the counter/gauge value, or the histogram mean.
+	Value float64 `json:"value"`
+	Count int64   `json:"count,omitempty"` // histogram observations
+	P50   float64 `json:"p50,omitempty"`
+	P99   float64 `json:"p99,omitempty"`
+	Max   float64 `json:"max,omitempty"`
+}
+
+// Snapshot returns every metric, sorted by (kind, name) for determinism.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	var out []MetricSnapshot
+	for name, c := range r.counters {
+		out = append(out, MetricSnapshot{Type: "metric", Name: name, Kind: "counter", Value: float64(c.Value())})
+	}
+	for name, g := range r.gauges {
+		out = append(out, MetricSnapshot{Type: "metric", Name: name, Kind: "gauge", Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		out = append(out, MetricSnapshot{
+			Type: "metric", Name: name, Kind: "histogram",
+			Value: h.Mean(), Count: h.Count(),
+			P50: h.Quantile(0.50), P99: h.Quantile(0.99), Max: h.Max(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

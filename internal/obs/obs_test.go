@@ -1,0 +1,314 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"pnet/internal/graph"
+	"pnet/internal/sim"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	c.Inc()
+	c.Add(2)
+	if r.Counter("a") != c || c.Value() != 3 {
+		t.Errorf("counter identity/value broken: %d", c.Value())
+	}
+	g := r.Gauge("b")
+	g.Set(1.5)
+	if r.Gauge("b").Value() != 1.5 {
+		t.Error("gauge identity broken")
+	}
+	h := r.Histogram("c")
+	h.Observe(1)
+	if r.Histogram("c").Count() != 1 {
+		t.Error("histogram identity broken")
+	}
+
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d entries", len(snap))
+	}
+	// Sorted by (kind, name): counter a, gauge b, histogram c.
+	if snap[0].Kind != "counter" || snap[1].Kind != "gauge" || snap[2].Kind != "histogram" {
+		t.Errorf("snapshot order: %+v", snap)
+	}
+	for _, m := range snap {
+		if m.Type != "metric" {
+			t.Errorf("snapshot type = %q", m.Type)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// Values spanning decades, like FCTs in seconds.
+	vals := []float64{1e-6, 2e-6, 5e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10}
+	var sum float64
+	for _, v := range vals {
+		h.Observe(v)
+		sum += v
+	}
+	if h.Count() != int64(len(vals)) {
+		t.Errorf("count = %d", h.Count())
+	}
+	if math.Abs(h.Mean()-sum/float64(len(vals))) > 1e-12 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+	if h.Min() != 1e-6 || h.Max() != 10 {
+		t.Errorf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	// Log buckets guarantee 2x relative accuracy.
+	if q := h.Quantile(0.5); q < 1e-4/2 || q > 1e-4*2 {
+		t.Errorf("p50 = %v, want within 2x of 1e-4", q)
+	}
+	if q := h.Quantile(1); q != 10 {
+		t.Errorf("p100 = %v, want max", q)
+	}
+	if q := h.Quantile(0.01); q < 1e-6 {
+		t.Errorf("p1 = %v below min", q)
+	}
+}
+
+func TestHistogramEdgeValues(t *testing.T) {
+	var h Histogram
+	h.Observe(0) // lands in bucket 0, no panic
+	h.Observe(-1)
+	h.Observe(math.MaxFloat64) // clamps to last bucket
+	if h.Count() != 3 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if q := h.Quantile(0.99); math.IsNaN(q) || math.IsInf(q, 0) {
+		t.Errorf("quantile = %v", q)
+	}
+}
+
+func TestNilCollectorIsSafe(t *testing.T) {
+	var c *Collector
+	c.RecordFlow(FlowRecord{Bytes: 1})
+	c.RecordSolver(SolverRecord{Phases: 1})
+	if c.AttachNetwork(nil, nil) != nil {
+		t.Error("nil collector attached a sampler")
+	}
+	if c.FCTs() != nil || c.MetricsLines() != 0 || c.TraceEvents() != 0 {
+		t.Error("nil collector reported state")
+	}
+	if err := c.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+// releaseSink recycles delivered packets.
+type releaseSink struct{ net *sim.Network }
+
+func (r *releaseSink) HandlePacket(p *sim.Packet) { r.net.Release(p) }
+
+// twoPlane builds a 2-host network with one switch per plane:
+// host 0 - sw2 - host 1 on plane 0, host 0 - sw3 - host 1 on plane 1.
+func twoPlane() (*graph.Graph, []graph.LinkID, []graph.LinkID) {
+	g := graph.New(4)
+	g.SetTransit(0, false)
+	g.SetTransit(1, false)
+	a0, _ := g.AddDuplex(0, 2, 100, 0)
+	_, d0 := g.AddDuplex(1, 2, 100, 0)
+	a1, _ := g.AddDuplex(0, 3, 100, 1)
+	_, d1 := g.AddDuplex(1, 3, 100, 1)
+	return g, []graph.LinkID{a0, d0}, []graph.LinkID{a1, d1}
+}
+
+// TestCollectorEndToEnd drives packets over a two-plane network with
+// both streams attached and checks the JSONL output: every line parses,
+// trace covers enqueue and deliver with sim timestamps and plane ids,
+// and the metrics stream carries link/plane/engine samples plus the
+// final registry snapshot.
+func TestCollectorEndToEnd(t *testing.T) {
+	g, p0, p1 := twoPlane()
+	eng := sim.NewEngine()
+	net := sim.NewNetwork(eng, g, sim.Config{})
+
+	var mbuf, tbuf bytes.Buffer
+	c := NewCollector()
+	c.Interval = sim.Microsecond
+	c.StreamMetrics(&mbuf)
+	c.StreamTrace(&tbuf)
+	if c.AttachNetwork(eng, net) == nil {
+		t.Fatal("no sampler started")
+	}
+
+	s := &releaseSink{net: net}
+	for i := 0; i < 10; i++ {
+		p := net.NewPacket()
+		p.Size = 1500
+		if i%2 == 0 {
+			p.Route = p0
+		} else {
+			p.Route = p1
+		}
+		p.Deliver = s
+		p.FlowID = int64(i % 2)
+		net.Send(p)
+	}
+	eng.Run()
+
+	c.RecordFlow(FlowRecord{ID: 1, Transport: "tcp", Bytes: 15000, FCT: 1e-5, Planes: []int32{0, 1}})
+	c.RecordSolver(SolverRecord{Exp: "test", Solver: "gk-fixed", Phases: 3, Iterations: 10, WallSec: 0.01})
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if c.TraceEvents() == 0 || c.MetricsLines() == 0 {
+		t.Fatalf("no output: %d trace events, %d metric lines", c.TraceEvents(), c.MetricsLines())
+	}
+
+	// Every trace line parses; enqueue and deliver both appear; both
+	// planes appear; timestamps are sim picoseconds (monotone from 0).
+	evs := map[string]int{}
+	planes := map[float64]bool{}
+	lastT := -1.0
+	for _, line := range nonEmptyLines(tbuf.String()) {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		if rec["type"] != "pkt" {
+			t.Fatalf("trace line type = %v", rec["type"])
+		}
+		evs[rec["ev"].(string)]++
+		planes[rec["plane"].(float64)] = true
+		tPs := rec["t_ps"].(float64)
+		if tPs < lastT {
+			t.Fatalf("trace timestamps not monotone: %v after %v", tPs, lastT)
+		}
+		lastT = tPs
+	}
+	if evs["enqueue"] == 0 || evs["deliver"] == 0 {
+		t.Errorf("trace events = %v, want enqueue and deliver", evs)
+	}
+	if !planes[0] || !planes[1] {
+		t.Errorf("planes seen = %v, want both", planes)
+	}
+
+	// Every metrics line parses; link, plane, engine, flow, solver, and
+	// metric records all appear; link samples carry link/plane ids.
+	kinds := map[string]int{}
+	for _, line := range nonEmptyLines(mbuf.String()) {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad metrics line %q: %v", line, err)
+		}
+		k := rec["type"].(string)
+		kinds[k]++
+		if k == "link" {
+			if _, ok := rec["link"]; !ok {
+				t.Fatalf("link sample without link id: %q", line)
+			}
+			if _, ok := rec["plane"]; !ok {
+				t.Fatalf("link sample without plane id: %q", line)
+			}
+			if rec["t_ps"].(float64) <= 0 {
+				t.Fatalf("link sample without sim timestamp: %q", line)
+			}
+		}
+	}
+	for _, want := range []string{"link", "plane", "engine", "flow", "solver", "metric"} {
+		if kinds[want] == 0 {
+			t.Errorf("metrics stream has no %q records (got %v)", want, kinds)
+		}
+	}
+
+	// The collector also kept the records in memory.
+	if len(c.Flows) != 1 || len(c.Solver) != 1 {
+		t.Errorf("in-memory records: %d flows, %d solver", len(c.Flows), len(c.Solver))
+	}
+	if got := c.FCTs(); len(got) != 1 || got[0] != 1e-5 {
+		t.Errorf("FCTs = %v", got)
+	}
+	if n := c.Reg.Counter("flows.completed").Value(); n != 1 {
+		t.Errorf("flows.completed = %d", n)
+	}
+}
+
+// TestMultiNetworkTraceStaysWellFormed attaches several networks to one
+// trace stream and pushes enough events through each to exceed any
+// single buffer: every line must still parse. (Regression: per-sink
+// buffered writers used to flush independently into the shared file,
+// interleaving lines mid-write.)
+func TestMultiNetworkTraceStaysWellFormed(t *testing.T) {
+	var tbuf bytes.Buffer
+	c := NewCollector()
+	c.StreamTrace(&tbuf)
+
+	for n := 0; n < 3; n++ {
+		g, p0, _ := twoPlane()
+		eng := sim.NewEngine()
+		net := sim.NewNetwork(eng, g, sim.Config{})
+		c.AttachNetwork(eng, net)
+		s := &releaseSink{net: net}
+		for i := 0; i < 500; i++ { // ~3 events x ~90 B each, > 64 kB total
+			p := net.NewPacket()
+			p.Size = 1500
+			p.Route = p0
+			p.Deliver = s
+			net.Send(p)
+		}
+		eng.Run()
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := nonEmptyLines(tbuf.String())
+	if tbuf.Len() < 2<<16 {
+		t.Fatalf("only %d trace bytes; test no longer exceeds the 64 kB sink buffer", tbuf.Len())
+	}
+	for _, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("malformed trace line: %q", line)
+		}
+	}
+}
+
+// TestSamplerTerminates checks the sampler does not keep an otherwise
+// finished simulation alive: Engine.Run returns even though the sampler
+// reschedules itself while work remains.
+func TestSamplerTerminates(t *testing.T) {
+	g, p0, _ := twoPlane()
+	eng := sim.NewEngine()
+	net := sim.NewNetwork(eng, g, sim.Config{})
+	s := NewSampler(eng, net, sim.Microsecond)
+	s.Start()
+
+	sink := &releaseSink{net: net}
+	p := net.NewPacket()
+	p.Size = 1500
+	p.Route = p0
+	p.Deliver = sink
+	net.Send(p)
+
+	done := eng.RunUntil(sim.Second)
+	if eng.HeapLen() != 0 {
+		t.Fatalf("sampler left %d events pending after %d fired", eng.HeapLen(), done)
+	}
+	if len(s.Engine) == 0 {
+		t.Error("no engine samples recorded")
+	}
+	for _, ls := range s.Links {
+		if ls.Util < 0 || ls.Util > 1.000001 {
+			t.Errorf("link %d util = %v", ls.Link, ls.Util)
+		}
+	}
+}
+
+func nonEmptyLines(s string) []string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.TrimSpace(l) != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"sort"
+	"time"
+
+	"pnet/internal/graph"
+	"pnet/internal/sim"
+)
+
+// LinkSample is one link's state at one sampling instant.
+type LinkSample struct {
+	T          sim.Time
+	Link       graph.LinkID
+	Plane      int32
+	QueueBytes int32
+	// Util is the link's utilization over the sampling interval (busy
+	// transmission time divided by elapsed sim time since the last tick).
+	Util    float64
+	TxBytes int64 // cumulative
+	Drops   int64 // cumulative
+}
+
+// PlaneSample is one dataplane's cumulative transmitted bytes at one
+// sampling instant — the merged cross-plane view of Network.PlaneBytes.
+type PlaneSample struct {
+	T       sim.Time
+	Plane   int32
+	TxBytes int64
+}
+
+// EngineSample is the event engine's state at one sampling instant: how
+// many events fired since the last tick, how long that took in wall
+// time, and the current heap size. Together they locate where simulated
+// and wall-clock time go.
+type EngineSample struct {
+	T       sim.Time
+	Events  uint64 // fired since the previous sample
+	HeapLen int
+	Wall    time.Duration // wall time since the previous sample
+}
+
+// Sampler periodically snapshots a network from inside the event loop.
+// It schedules itself on the simulation engine, so samples carry sim
+// timestamps; when its tick finds the event heap otherwise empty the
+// simulation is over and it stops rescheduling, which keeps Engine.Run
+// terminating.
+//
+// To bound overhead on long simulations the sampler decimates itself:
+// after every decimateAfter ticks the interval doubles, so the tick
+// count grows only logarithmically with simulated time.
+type Sampler struct {
+	Eng *sim.Engine
+	Net *sim.Network
+
+	// In-memory series, appended on every tick. Links holds only links
+	// that were active (nonzero queue, or traffic/drops since the last
+	// tick); idle links would dominate the series without carrying
+	// information.
+	Links  []LinkSample
+	Planes []PlaneSample
+	Engine []EngineSample
+
+	// NetID distinguishes multiple sampled networks in a shared stream.
+	NetID int
+
+	stream *MetricsWriter // optional JSONL mirror of every sample
+
+	interval   sim.Time
+	ticks      int
+	stopped    bool
+	prevTx     []int64
+	prevDrops  []int64
+	prevBusy   []sim.Time
+	prevFired  uint64
+	prevWall   time.Time
+	planeOf    []int32
+	planeOrder []int32
+}
+
+const decimateAfter = 4096
+
+// NewSampler prepares a sampler at the given interval (which must be
+// positive). Call Start to begin sampling.
+func NewSampler(eng *sim.Engine, net *sim.Network, interval sim.Time) *Sampler {
+	n := net.G.NumLinks()
+	s := &Sampler{
+		Eng:       eng,
+		Net:       net,
+		interval:  interval,
+		prevTx:    make([]int64, n),
+		prevDrops: make([]int64, n),
+		prevBusy:  make([]sim.Time, n),
+		planeOf:   make([]int32, n),
+	}
+	seen := map[int32]bool{}
+	for i := 0; i < n; i++ {
+		p := net.G.Link(graph.LinkID(i)).Plane
+		s.planeOf[i] = p
+		if !seen[p] {
+			seen[p] = true
+			s.planeOrder = append(s.planeOrder, p)
+		}
+	}
+	sort.Slice(s.planeOrder, func(i, j int) bool { return s.planeOrder[i] < s.planeOrder[j] })
+	return s
+}
+
+// Start schedules the first tick one interval from now.
+func (s *Sampler) Start() {
+	s.prevWall = time.Now()
+	s.prevFired = s.Eng.EventsFired()
+	s.Eng.After(s.interval, s.tick)
+}
+
+// Stop prevents any further samples.
+func (s *Sampler) Stop() { s.stopped = true }
+
+func (s *Sampler) tick() {
+	if s.stopped {
+		return
+	}
+	now := s.Eng.Now()
+	wall := time.Now()
+
+	// Engine sample.
+	fired := s.Eng.EventsFired()
+	es := EngineSample{
+		T:       now,
+		Events:  fired - s.prevFired,
+		HeapLen: s.Eng.HeapLen(),
+		Wall:    wall.Sub(s.prevWall),
+	}
+	s.Engine = append(s.Engine, es)
+	s.prevFired = fired
+	s.prevWall = wall
+	if s.stream != nil {
+		s.stream.writeEngineSample(s.NetID, es)
+	}
+
+	// Link samples, active links only.
+	planeBytes := make(map[int32]int64, len(s.planeOrder))
+	intervalSec := s.interval.Seconds()
+	for i := range s.prevTx {
+		id := graph.LinkID(i)
+		st := s.Net.Stats(id)
+		planeBytes[s.planeOf[i]] += st.TxBytes
+		depth := s.Net.QueueDepth(id)
+		active := depth > 0 || st.TxBytes != s.prevTx[i] || st.Drops != s.prevDrops[i]
+		if active {
+			util := 0.0
+			if intervalSec > 0 {
+				util = (st.Busy - s.prevBusy[i]).Seconds() / intervalSec
+			}
+			ls := LinkSample{
+				T:          now,
+				Link:       id,
+				Plane:      s.planeOf[i],
+				QueueBytes: depth,
+				Util:       util,
+				TxBytes:    st.TxBytes,
+				Drops:      st.Drops,
+			}
+			s.Links = append(s.Links, ls)
+			if s.stream != nil {
+				s.stream.writeLinkSample(s.NetID, ls)
+			}
+		}
+		s.prevTx[i] = st.TxBytes
+		s.prevDrops[i] = st.Drops
+		s.prevBusy[i] = st.Busy
+	}
+
+	// Per-plane totals.
+	for _, p := range s.planeOrder {
+		ps := PlaneSample{T: now, Plane: p, TxBytes: planeBytes[p]}
+		s.Planes = append(s.Planes, ps)
+		if s.stream != nil {
+			s.stream.writePlaneSample(s.NetID, ps)
+		}
+	}
+
+	s.ticks++
+	if s.ticks%decimateAfter == 0 {
+		s.interval *= 2
+	}
+	// Reschedule only while other work remains: an empty heap here means
+	// nothing else can ever fire, so the simulation is done.
+	if s.Eng.HeapLen() > 0 {
+		s.Eng.After(s.interval, s.tick)
+	}
+}

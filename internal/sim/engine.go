@@ -72,6 +72,7 @@ func (e *Event) Pending() bool { return e != nil && !e.canceled && e.index >= 0 
 type Engine struct {
 	now    Time
 	seq    uint64
+	fired  uint64
 	events eventHeap
 	free   *Event // pool for internal (actor) events
 }
@@ -81,6 +82,19 @@ func NewEngine() *Engine { return &Engine{} }
 
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
+
+// EventsFired returns the number of events dispatched so far — the
+// engine's work counter, sampled by telemetry to report event rates.
+func (e *Engine) EventsFired() uint64 { return e.fired }
+
+// EventsScheduled returns the number of events ever scheduled.
+func (e *Engine) EventsScheduled() uint64 { return e.seq }
+
+// HeapLen reports the number of pending (possibly cancelled) events.
+// Telemetry samples it as the engine's working-set size; a periodic
+// sampler also uses it to detect that it is the only remaining work and
+// stop rescheduling itself.
+func (e *Engine) HeapLen() int { return len(e.events) }
 
 // At schedules fn at absolute time t (not before the current time) and
 // returns a cancellable handle.
@@ -120,6 +134,7 @@ func (e *Engine) schedule(at Time, who actor) {
 // fire dispatches a popped event, recycling pooled ones.
 func (e *Engine) fire(ev *Event) {
 	e.now = ev.at
+	e.fired++
 	if ev.who != nil {
 		who := ev.who
 		ev.who = nil

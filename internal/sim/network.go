@@ -29,6 +29,9 @@ type Packet struct {
 	Seq    int64 // data sequence, in packets
 	AckSeq int64 // cumulative ack, in packets
 	Aux    int64 // transport scratch (e.g. echoed timestamp)
+	// FlowID identifies the transport flow the packet belongs to, for
+	// tracing; transports stamp it, the simulator only carries it.
+	FlowID int64
 	// CE is the ECN congestion-experienced codepoint, set by a queue
 	// whose occupancy exceeds the marking threshold; ECE echoes it back
 	// to the sender on ACKs (set by the transport).
@@ -92,6 +95,21 @@ const (
 	TraceTrim                      // packet payload trimmed (NDP)
 	TraceDeliver                   // packet handed to its Deliver handler
 )
+
+// String names the event kind for logs and traces.
+func (e TraceEvent) String() string {
+	switch e {
+	case TraceEnqueue:
+		return "enqueue"
+	case TraceDrop:
+		return "drop"
+	case TraceTrim:
+		return "trim"
+	case TraceDeliver:
+		return "deliver"
+	}
+	return "unknown"
+}
 
 // Tracer observes packet events, htsim-log style. Tracing is optional;
 // a nil tracer costs one branch per event.

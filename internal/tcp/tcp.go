@@ -80,6 +80,11 @@ type Flow struct {
 	net *sim.Network
 	cfg Config
 
+	// ID labels the flow in packet traces (sim.Packet.FlowID). Callers
+	// that want per-flow telemetry assign it before Start; the workload
+	// driver numbers flows 1..n in start order.
+	ID int64
+
 	// SizePkts is the transfer length in MTU packets.
 	SizePkts int64
 	subs     []*subflow
@@ -308,6 +313,7 @@ func (sf *subflow) transmit(seq int64, fresh bool) {
 	p.Route = sf.fwd
 	p.Deliver = sf.dataH
 	p.Seq = seq
+	p.FlowID = sf.f.ID
 	sf.f.net.Send(p)
 	if fresh && !sf.timing {
 		sf.timing = true
@@ -400,6 +406,7 @@ func (sf *subflow) onData(p *sim.Packet) {
 	ack.Route = sf.rev
 	ack.Deliver = sf.ackH
 	ack.AckSeq = sf.rcvNxt
+	ack.FlowID = sf.f.ID
 	ack.ECE = ce // echo the CE mark (per-packet, as DCTCP requires)
 	sf.f.net.Send(ack)
 }

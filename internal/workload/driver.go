@@ -2,9 +2,11 @@ package workload
 
 import (
 	"fmt"
+	"sort"
 
 	"pnet/internal/core"
 	"pnet/internal/graph"
+	"pnet/internal/obs"
 	"pnet/internal/sim"
 	"pnet/internal/tcp"
 	"pnet/internal/topo"
@@ -61,6 +63,10 @@ type Driver struct {
 	Eng  *sim.Engine
 	Net  *sim.Network
 	TCP  tcp.Config
+
+	// Obs, when set (via Instrument), receives per-flow records and
+	// drives the network's tracer and sampler. Nil costs nothing.
+	Obs *obs.Collector
 
 	hashCtr uint64
 	// Flows counts flows started; Completed counts OnComplete callbacks.
@@ -156,6 +162,14 @@ func (d *Driver) StartFlow(src, dst graph.NodeID, sizeBytes int64, sel Selection
 	return d.StartFlowOnPaths(paths, sizeBytes, onDelivered, onComplete)
 }
 
+// Instrument attaches a telemetry collector: the network's tracer and
+// sampler are wired up, and every completed flow is recorded. A nil
+// collector is a no-op.
+func (d *Driver) Instrument(c *obs.Collector) {
+	d.Obs = c
+	c.AttachNetwork(d.Eng, d.Net)
+}
+
 // StartFlowOnPaths starts a flow over explicitly chosen paths (used by
 // the adaptive selector and custom policies).
 func (d *Driver) StartFlowOnPaths(paths []graph.Path, sizeBytes int64,
@@ -167,14 +181,43 @@ func (d *Driver) StartFlowOnPaths(paths []graph.Path, sizeBytes int64,
 	}
 	f.OnDelivered = onDelivered
 	d.Flows++
+	f.ID = d.Flows
 	f.OnComplete = func(fl *tcp.Flow) {
 		d.Completed++
+		if d.Obs != nil {
+			d.Obs.RecordFlow(obs.FlowRecord{
+				ID:          fl.ID,
+				Transport:   "tcp",
+				Src:         int64(paths[0].Src(d.Net.G)),
+				Dst:         int64(paths[0].Dst(d.Net.G)),
+				Bytes:       sizeBytes,
+				FCT:         fl.FCT().Seconds(),
+				Retransmits: fl.Retransmits,
+				Subflows:    fl.Subflows(),
+				Planes:      planesOf(d.Net.G, paths),
+			})
+		}
 		if onComplete != nil {
 			onComplete(fl)
 		}
 	}
 	f.Start()
 	return f, nil
+}
+
+// planesOf returns the distinct dataplanes a path set touches, sorted.
+func planesOf(g *graph.Graph, paths []graph.Path) []int32 {
+	seen := map[int32]bool{}
+	var out []int32
+	for _, p := range paths {
+		pl := p.Plane(g)
+		if !seen[pl] {
+			seen[pl] = true
+			out = append(out, pl)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // MustRunUntil drives the engine to the deadline and returns an error if
