@@ -19,6 +19,7 @@ import (
 	"pnet/internal/graph"
 	"pnet/internal/mcf"
 	"pnet/internal/route"
+	"pnet/internal/sim"
 	"pnet/internal/topo"
 	"pnet/internal/workload"
 )
@@ -202,6 +203,67 @@ func BenchmarkAblationLowestHopPlane(b *testing.B) {
 	}
 	b.ReportMetric(best, "hops-best-plane")
 	b.ReportMetric(p0, "hops-plane0")
+}
+
+// --- Hot-path benchmarks -------------------------------------------------
+//
+// These two isolate the simulator's inner loops (event dispatch and GK
+// phase work) from experiment setup, so regressions in either show up as
+// ns/op and allocs/op rather than being buried in whole-figure times.
+// `pnetstat summary -gobench` folds their output into the run report the
+// perf gate compares.
+
+// BenchmarkEngineEventLoop measures bare event dispatch: 256 concurrent
+// self-rescheduling timer chains drain exactly b.N events through the
+// heap, which is the engine pattern every packet transmission follows.
+func BenchmarkEngineEventLoop(b *testing.B) {
+	const chains = 256
+	eng := sim.NewEngine()
+	left := b.N - chains
+	var tick func()
+	tick = func() {
+		if left > 0 {
+			left--
+			eng.After(sim.Microsecond, tick)
+		}
+	}
+	for i := 0; i < chains && i < b.N; i++ {
+		eng.After(sim.Time(i)*sim.Nanosecond, tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	eng.Run()
+	b.StopTimer()
+	if fired := eng.EventsFired(); fired != uint64(b.N) {
+		b.Fatalf("fired %d events, want %d", fired, b.N)
+	}
+}
+
+// BenchmarkGKSolverPhase measures one Garg–Könemann solve on a fixed
+// 2-plane fat-tree instance and reports per-phase cost, the unit the
+// solver's complexity bound is stated in.
+func BenchmarkGKSolverPhase(b *testing.B) {
+	set := topo.FatTreeSet(4, 2, 100)
+	tp := set.ParallelHomo
+	cs := workload.PermutationCommodities(tp, 100, rng(5))
+	paths := route.KSPPaths(tp.G, cs, 8)
+	var phases, iters int64
+	var wall float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := mcf.FixedPaths(tp.G, cs, paths, mcf.Options{Epsilon: 0.1})
+		phases += int64(r.Stats.Phases)
+		iters += r.Stats.Iterations
+		wall += r.Stats.Wall.Seconds()
+	}
+	b.StopTimer()
+	if phases == 0 {
+		b.Fatal("solver did no phases")
+	}
+	b.ReportMetric(float64(phases)/float64(b.N), "phases")
+	b.ReportMetric(float64(iters)/float64(b.N), "iters")
+	b.ReportMetric(wall*1e9/float64(phases), "ns/phase")
 }
 
 func rng(seed int64) *rand.Rand {

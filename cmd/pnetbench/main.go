@@ -18,11 +18,15 @@
 // utilization, per-plane bytes, engine event rate, flow and solver
 // records, final counter snapshot); -trace streams per-packet lifecycle
 // events (enqueue/drop/trim/deliver). Both accept a file path or "-" for
-// stdout. -pprof serves net/http/pprof on the given address for live
-// profiling of long runs. See README.md "Telemetry" for the schemas.
+// stdout. -report writes a RunSummary JSON (FCT percentiles, plane
+// shares, solver/engine aggregates) for pnetstat summary/diff/gate with
+// no JSONL round-trip. -pprof serves net/http/pprof on the given address
+// for live profiling of long runs. See README.md "Telemetry" and
+// "Analyzing runs" for the schemas.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +37,7 @@ import (
 
 	"pnet/internal/exp"
 	"pnet/internal/obs"
+	"pnet/internal/report"
 	"pnet/internal/sim"
 )
 
@@ -46,10 +51,24 @@ func main() {
 		format  = flag.String("format", "table", "table | csv | json")
 		metrics = flag.String("metrics", "", "stream metric samples as JSONL to this file ('-' = stdout)")
 		trace   = flag.String("trace", "", "stream packet lifecycle events as JSONL to this file ('-' = stdout)")
-		sample  = flag.Duration("sample", 0, "sampling interval for -metrics (default 10us of sim time)")
+		sample  = flag.Duration("sample", 0, "sampling interval for -metrics/-report (default 10us of sim time)")
+		reportF = flag.String("report", "", "write a RunSummary JSON for pnetstat to this file")
 		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	// An explicit -sample must be positive; silently falling back to the
+	// default would make the printed series lie about their cadence.
+	sampleSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "sample" {
+			sampleSet = true
+		}
+	})
+	if sampleSet && *sample <= 0 {
+		fmt.Fprintf(os.Stderr, "pnetbench: -sample must be positive, got %v\n", *sample)
+		os.Exit(2)
+	}
 
 	if *list || *expID == "" {
 		fmt.Println("experiments:")
@@ -83,11 +102,19 @@ func main() {
 	}
 
 	var collector *obs.Collector
+	var aggr *report.Aggregator
 	var closers []io.Closer
-	if *metrics != "" || *trace != "" {
+	if *metrics != "" || *trace != "" || *reportF != "" {
 		collector = obs.NewCollector()
 		if *sample > 0 {
 			collector.Interval = sim.Time(sample.Nanoseconds()) * sim.Nanosecond
+		}
+		if *reportF != "" {
+			// Samples reduce into the summary as they are taken; the
+			// samplers retain nothing, so -exp all stays memory-bounded.
+			aggr = report.NewAggregator()
+			collector.Sink = aggr
+			collector.DropSamples = true
 		}
 		if w, c := openSink(*metrics); w != nil {
 			collector.StreamMetrics(w)
@@ -116,6 +143,13 @@ func main() {
 		toRun = []exp.Experiment{e}
 	}
 
+	if collector != nil {
+		// Run header: the effective sampling cadence, so nobody has to
+		// reverse-engineer it from the t_ps deltas in the stream.
+		fmt.Fprintf(os.Stderr, "pnetbench: exp=%s scale=%s seed=%d, telemetry sampling every %v of sim time (doubles every 4096 ticks)\n",
+			*expID, params.Scale, *seed, collector.EffectiveInterval())
+	}
+
 	for _, e := range toRun {
 		start := time.Now()
 		table := e.Run(params)
@@ -139,6 +173,24 @@ func main() {
 		}
 	}
 
+	if *reportF != "" {
+		// Summarize before Close: the collector's samplers and records
+		// stay valid, and the summary does not depend on the streams.
+		summary := aggr.Summarize(collector, report.Meta{
+			Exp:     *expID,
+			Scale:   params.Scale.String(),
+			Seed:    *seed,
+			Created: time.Now().UTC().Format(time.RFC3339),
+		})
+		b, err := json.MarshalIndent(summary, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*reportF, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pnetbench: report: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if collector != nil {
 		if err := collector.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "pnetbench: telemetry: %v\n", err)

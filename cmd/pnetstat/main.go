@@ -1,0 +1,246 @@
+// Command pnetstat turns the telemetry that pnetbench emits into
+// decisions: human-readable run summaries, cross-run diffs, and a
+// perf-regression gate against the repository's committed BENCH_*.json
+// trajectory.
+//
+// Usage:
+//
+//	pnetstat summary [-json] [-o out.json] [-gobench bench.txt] <run>
+//	pnetstat diff [-threshold 0.1] [-gate-wall] <base> <cur>
+//	pnetstat gate [-dir .] [-threshold 0.1] [-gobench bench.txt] <run>
+//	pnetstat baseline [-dir .] <run>
+//
+// <run>, <base>, and <cur> accept either a RunSummary JSON (written by
+// `pnetbench -report` or by `pnetstat summary -o`) or a raw metrics
+// JSONL stream (`pnetbench -metrics`), auto-detected. `gate` compares
+// the run against the newest BENCH_*.json in -dir and exits 1 when a
+// gated metric regresses beyond the threshold; `baseline` records a run
+// into the trajectory. Exit codes: 0 ok, 1 regression, 2 usage/input
+// error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"pnet/internal/report"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+const usage = `usage: pnetstat <command> [flags] <file...>
+
+commands:
+  summary [-json] [-o out.json] [-gobench bench.txt] <run>
+      print a run summary (FCT percentiles, plane shares, solver/engine
+      stats); -o writes the summary JSON, -gobench merges go test -bench
+      results into it
+  diff [-threshold 0.1] [-gate-wall] <base> <cur>
+      per-metric deltas between two runs; exit 1 if a gated metric
+      worsens beyond the threshold
+  gate [-dir .] [-threshold 0.1] [-gobench bench.txt] <run>
+      diff <run> against the newest BENCH_*.json baseline in -dir;
+      exit 1 on regression
+  baseline [-dir .] <run>
+      write <run> into the trajectory as BENCH_<stamp>.json
+
+runs are RunSummary JSON (pnetbench -report) or metrics JSONL
+(pnetbench -metrics), auto-detected.
+`
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprint(stderr, usage)
+		return 2
+	}
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "summary":
+		return runSummary(rest, stdout, stderr)
+	case "diff":
+		return runDiff(rest, stdout, stderr)
+	case "gate":
+		return runGate(rest, stdout, stderr)
+	case "baseline":
+		return runBaseline(rest, stdout, stderr)
+	case "-h", "-help", "--help", "help":
+		fmt.Fprint(stdout, usage)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "pnetstat: unknown command %q\n\n%s", cmd, usage)
+		return 2
+	}
+}
+
+// loadRun reads a run file, tolerating nothing the library does not;
+// errors go to stderr with exit code 2 semantics handled by callers.
+func loadRun(path, gobench string, stderr io.Writer) (report.RunSummary, bool) {
+	s, err := report.LoadRun(path, report.Meta{})
+	if err != nil {
+		fmt.Fprintf(stderr, "pnetstat: %v\n", err)
+		return report.RunSummary{}, false
+	}
+	if gobench != "" {
+		f, err := os.Open(gobench)
+		if err != nil {
+			fmt.Fprintf(stderr, "pnetstat: %v\n", err)
+			return report.RunSummary{}, false
+		}
+		defer f.Close()
+		gb, err := report.ParseGoBench(f)
+		if err != nil {
+			fmt.Fprintf(stderr, "pnetstat: %s: %v\n", gobench, err)
+			return report.RunSummary{}, false
+		}
+		if len(gb) == 0 {
+			fmt.Fprintf(stderr, "pnetstat: %s: no benchmark results found\n", gobench)
+			return report.RunSummary{}, false
+		}
+		s.GoBench = mergeGoBench(s.GoBench, gb)
+	}
+	return s, true
+}
+
+// mergeGoBench overlays fresh results onto existing ones by name,
+// appending names not seen before, preserving order.
+func mergeGoBench(old, fresh []report.GoBench) []report.GoBench {
+	out := append([]report.GoBench(nil), old...)
+	for _, g := range fresh {
+		replaced := false
+		for i := range out {
+			if out[i].Name == g.Name {
+				out[i] = g
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+func runSummary(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("summary", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "print the summary as JSON instead of text")
+	out := fs.String("o", "", "also write the summary JSON to this file")
+	gobench := fs.String("gobench", "", "merge `go test -bench` output from this file")
+	if fs.Parse(args) != nil || fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: pnetstat summary [-json] [-o out.json] [-gobench bench.txt] <run>")
+		return 2
+	}
+	s, ok := loadRun(fs.Arg(0), *gobench, stderr)
+	if !ok {
+		return 2
+	}
+	if s.Created == "" {
+		s.Created = time.Now().UTC().Format(time.RFC3339)
+	}
+	if *out != "" {
+		b, err := json.MarshalIndent(s, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "pnetstat: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "pnetstat: %v\n", err)
+			return 2
+		}
+	}
+	if *asJSON {
+		b, _ := json.MarshalIndent(s, "", "  ")
+		fmt.Fprintln(stdout, string(b))
+	} else {
+		fmt.Fprint(stdout, s.String())
+	}
+	return 0
+}
+
+func diffThresholds(rel float64, gateWall bool) report.Thresholds {
+	return report.Thresholds{Rel: rel, GateWall: gateWall}
+}
+
+func runDiff(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rel := fs.Float64("threshold", 0, "relative worsening allowed on gated metrics (default 0.10)")
+	gateWall := fs.Bool("gate-wall", false, "also gate wall-clock metrics (same-machine comparisons only)")
+	if fs.Parse(args) != nil || fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: pnetstat diff [-threshold 0.1] [-gate-wall] <base> <cur>")
+		return 2
+	}
+	base, ok := loadRun(fs.Arg(0), "", stderr)
+	if !ok {
+		return 2
+	}
+	cur, ok := loadRun(fs.Arg(1), "", stderr)
+	if !ok {
+		return 2
+	}
+	d := report.Diff(base, cur, diffThresholds(*rel, *gateWall))
+	fmt.Fprint(stdout, d.String())
+	if !d.Pass {
+		return 1
+	}
+	return 0
+}
+
+func runGate(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", ".", "directory holding the BENCH_*.json trajectory")
+	rel := fs.Float64("threshold", 0, "relative worsening allowed on gated metrics (default 0.10)")
+	gateWall := fs.Bool("gate-wall", false, "also gate wall-clock metrics (same-machine comparisons only)")
+	gobench := fs.String("gobench", "", "merge `go test -bench` output from this file into the run")
+	if fs.Parse(args) != nil || fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: pnetstat gate [-dir .] [-threshold 0.1] [-gobench bench.txt] <run>")
+		return 2
+	}
+	cur, ok := loadRun(fs.Arg(0), *gobench, stderr)
+	if !ok {
+		return 2
+	}
+	basePath, base, err := report.LatestBench(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "pnetstat: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "gate: %s vs baseline %s\n", fs.Arg(0), basePath)
+	d := report.Diff(base, cur, diffThresholds(*rel, *gateWall))
+	fmt.Fprint(stdout, d.String())
+	if !d.Pass {
+		return 1
+	}
+	return 0
+}
+
+func runBaseline(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("baseline", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", ".", "directory holding the BENCH_*.json trajectory")
+	if fs.Parse(args) != nil || fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: pnetstat baseline [-dir .] <run>")
+		return 2
+	}
+	s, ok := loadRun(fs.Arg(0), "", stderr)
+	if !ok {
+		return 2
+	}
+	if s.Created == "" {
+		s.Created = time.Now().UTC().Format(time.RFC3339)
+	}
+	path, err := report.WriteBench(*dir, s)
+	if err != nil {
+		fmt.Fprintf(stderr, "pnetstat: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", path)
+	return 0
+}

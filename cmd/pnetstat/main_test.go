@@ -1,0 +1,192 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pnet/internal/report"
+)
+
+// writeRun materializes a summary JSON for the CLI to consume.
+func writeRun(t *testing.T, dir, name string, s report.RunSummary) string {
+	t.Helper()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func testSummary() report.RunSummary {
+	return report.RunSummary{
+		SchemaVersion: report.SchemaVersion,
+		Created:       "2026-08-05T00:00:00Z",
+		Exp:           "fig9",
+		Scale:         "small",
+		Seed:          1,
+		Flows:         100,
+		FlowBytes:     1_000_000,
+		FCT:           report.Dist{Count: 100, Mean: 0.02, Min: 0.001, P50: 0.01, P99: 0.05, P999: 0.06, Max: 0.07},
+		GoodputBps:    1e9,
+		PlaneShares: []report.PlaneShare{
+			{Plane: 0, Bytes: 600_000, Share: 0.6},
+			{Plane: 1, Bytes: 400_000, Share: 0.4},
+		},
+		PlaneImbalance: 1.2,
+		Solver:         report.SolverSummary{Calls: 3, Phases: 30, Iterations: 900, WallSec: 0.5},
+		Engine:         report.EngineSummary{Networks: 2, Events: 10000, WallSec: 0.1, EventsPerSec: 1e5, SimSec: 0.008},
+	}
+}
+
+func TestSummaryCommand(t *testing.T) {
+	dir := t.TempDir()
+	run := writeRun(t, dir, "r.json", testSummary())
+
+	var out, errb bytes.Buffer
+	if code := run2(t, []string{"summary", run}, &out, &errb); code != 0 {
+		t.Fatalf("summary exited %d: %s", code, errb.String())
+	}
+	text := out.String()
+	for _, want := range []string{"p50=10ms", "p99=50ms", "p999=60ms", "0=60.0%", "1=40.0%", "wall 0.500s"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("summary output missing %q:\n%s", want, text)
+		}
+	}
+
+	// -json round-trips.
+	out.Reset()
+	if code := run2(t, []string{"summary", "-json", run}, &out, &errb); code != 0 {
+		t.Fatalf("summary -json exited %d", code)
+	}
+	var s report.RunSummary
+	if err := json.Unmarshal(out.Bytes(), &s); err != nil {
+		t.Fatalf("summary -json output not JSON: %v", err)
+	}
+	if s.FCT.P999 != 0.06 {
+		t.Errorf("p999 = %v", s.FCT.P999)
+	}
+}
+
+func run2(t *testing.T, args []string, stdout, stderr *bytes.Buffer) int {
+	t.Helper()
+	return run(args, stdout, stderr)
+}
+
+func TestGateCommand(t *testing.T) {
+	dir := t.TempDir()
+	base := testSummary()
+	if _, err := report.WriteBench(dir, base); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unchanged run passes the gate.
+	same := writeRun(t, dir, "same.json", testSummary())
+	var out, errb bytes.Buffer
+	if code := run2(t, []string{"gate", "-dir", dir, same}, &out, &errb); code != 0 {
+		t.Fatalf("gate on identical run exited %d:\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "PASS") {
+		t.Errorf("gate output:\n%s", out.String())
+	}
+
+	// p99 FCT inflated beyond threshold exits non-zero — the acceptance
+	// scenario.
+	bad := testSummary()
+	bad.FCT.P99 *= 1.25
+	badPath := writeRun(t, dir, "bad.json", bad)
+	out.Reset()
+	if code := run2(t, []string{"gate", "-dir", dir, badPath}, &out, &errb); code != 1 {
+		t.Fatalf("gate on inflated p99 exited %d, want 1:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "fct_s.p99") || !strings.Contains(out.String(), "FAIL") {
+		t.Errorf("gate failure output:\n%s", out.String())
+	}
+
+	// A generous threshold lets the same run through.
+	out.Reset()
+	if code := run2(t, []string{"gate", "-dir", dir, "-threshold", "0.5", badPath}, &out, &errb); code != 0 {
+		t.Fatalf("gate with 50%% threshold exited %d", code)
+	}
+
+	// No baseline at all is a usage error, not a pass.
+	empty := t.TempDir()
+	if code := run2(t, []string{"gate", "-dir", empty, same}, &out, &errb); code != 2 {
+		t.Fatalf("gate without baseline exited %d, want 2", code)
+	}
+}
+
+func TestDiffCommand(t *testing.T) {
+	dir := t.TempDir()
+	a := writeRun(t, dir, "a.json", testSummary())
+	worse := testSummary()
+	worse.GoodputBps *= 0.7
+	b := writeRun(t, dir, "b.json", worse)
+
+	var out, errb bytes.Buffer
+	if code := run2(t, []string{"diff", a, a}, &out, &errb); code != 0 {
+		t.Fatalf("self-diff exited %d", code)
+	}
+	out.Reset()
+	if code := run2(t, []string{"diff", a, b}, &out, &errb); code != 1 {
+		t.Fatalf("diff with 30%% goodput loss exited %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "goodput_bps") {
+		t.Errorf("diff output:\n%s", out.String())
+	}
+}
+
+func TestBaselineCommandAndGoBenchMerge(t *testing.T) {
+	dir := t.TempDir()
+	run := writeRun(t, dir, "r.json", testSummary())
+	benchTxt := filepath.Join(dir, "bench.txt")
+	if err := os.WriteFile(benchTxt, []byte(
+		"BenchmarkEngineEventLoop-8 1000000 120.5 ns/op 0 B/op 0 allocs/op\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	merged := filepath.Join(dir, "merged.json")
+	var out, errb bytes.Buffer
+	if code := run2(t, []string{"summary", "-gobench", benchTxt, "-o", merged, run}, &out, &errb); code != 0 {
+		t.Fatalf("summary -gobench exited %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkEngineEventLoop") {
+		t.Errorf("merged summary output:\n%s", out.String())
+	}
+
+	tdir := t.TempDir()
+	out.Reset()
+	if code := run2(t, []string{"baseline", "-dir", tdir, merged}, &out, &errb); code != 0 {
+		t.Fatalf("baseline exited %d: %s", code, errb.String())
+	}
+	path, s, err := report.LatestBench(tdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.GoBench) != 1 || s.GoBench[0].NsPerOp != 120.5 {
+		t.Errorf("baseline %s gobench = %+v", path, s.GoBench)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run2(t, nil, &out, &errb); code != 2 {
+		t.Errorf("no args exited %d", code)
+	}
+	if code := run2(t, []string{"bogus"}, &out, &errb); code != 2 {
+		t.Errorf("unknown command exited %d", code)
+	}
+	if code := run2(t, []string{"summary"}, &out, &errb); code != 2 {
+		t.Errorf("summary without file exited %d", code)
+	}
+	if code := run2(t, []string{"help"}, &out, &errb); code != 0 {
+		t.Errorf("help exited %d", code)
+	}
+}

@@ -7,36 +7,8 @@ import (
 	"pnet/internal/sim"
 )
 
-// FlowRecord captures one completed transport flow.
-type FlowRecord struct {
-	Type        string  `json:"type"` // "flow"
-	ID          int64   `json:"id"`
-	Transport   string  `json:"transport"` // "tcp" | "ndp"
-	Src         int64   `json:"src"`
-	Dst         int64   `json:"dst"`
-	Bytes       int64   `json:"bytes"`
-	FCT         float64 `json:"fct_s"`
-	Retransmits int64   `json:"retransmits"`
-	Subflows    int     `json:"subflows"`
-	// Planes lists the distinct dataplanes the flow's paths use — the
-	// path/plane choice the paper's §7 monitoring must merge.
-	Planes []int32 `json:"planes"`
-}
-
-// SolverRecord captures one LP/flow-solver invocation: which experiment
-// asked, which solver ran, and the Garg–Könemann phase/iteration counts
-// and wall time from internal/mcf.
-type SolverRecord struct {
-	Type       string  `json:"type"` // "solver"
-	Exp        string  `json:"exp"`
-	Solver     string  `json:"solver"` // "gk-fixed" | "gk-free" | "maxmin" | "simplex"
-	K          int     `json:"k,omitempty"`
-	Lambda     float64 `json:"lambda"`
-	Phases     int     `json:"phases"`
-	Iterations int64   `json:"iterations"`
-	Attempts   int     `json:"attempts"`
-	WallSec    float64 `json:"wall_s"`
-}
+// FlowRecord and SolverRecord (the in-memory record types accumulated
+// here) are defined with the rest of the JSONL schema in schema.go.
 
 // Collector bundles the telemetry of one harness run: a metric registry,
 // optional JSONL streams, and per-network samplers/tracers. Every method
@@ -47,6 +19,17 @@ type Collector struct {
 	Reg *Registry
 	// Interval is the sampling period in sim time; zero selects 10 µs.
 	Interval sim.Time
+	// AlwaysSample starts a sampler on every attached network even when
+	// no metrics stream is set, so samples accumulate for post-run
+	// summarization (internal/report) without the JSONL round-trip.
+	AlwaysSample bool
+	// Sink, when non-nil, receives every sample as it is taken — the
+	// streaming aggregation path. Must be set before AttachNetwork.
+	Sink SampleSink
+	// DropSamples stops samplers from retaining their in-memory series;
+	// set it alongside Sink to keep memory bounded on long runs whose
+	// consumer aggregates on the fly.
+	DropSamples bool
 
 	// Flows and Solver accumulate records in memory for programmatic use
 	// (the JSONL streams carry the same data).
@@ -115,14 +98,33 @@ func (c *Collector) AttachNetwork(eng *sim.Engine, net *sim.Network) *Sampler {
 		c.sinks = append(c.sinks, sink)
 	}
 	var sampler *Sampler
-	if c.mw != nil {
+	if c.mw != nil || c.AlwaysSample || c.Sink != nil {
 		sampler = NewSampler(eng, net, c.interval())
 		sampler.NetID = id
 		sampler.stream = c.mw
+		sampler.sink = c.Sink
+		sampler.retain = !c.DropSamples
 		sampler.Start()
 		c.samplers = append(c.samplers, sampler)
 	}
 	return sampler
+}
+
+// Samplers returns the samplers started so far, one per attached
+// network, in attach order (so index matches the NetID of the stream).
+func (c *Collector) Samplers() []*Sampler {
+	if c == nil {
+		return nil
+	}
+	return c.samplers
+}
+
+// EffectiveInterval reports the sampling period attached networks use.
+func (c *Collector) EffectiveInterval() sim.Time {
+	if c == nil {
+		return 0
+	}
+	return c.interval()
 }
 
 // RecordFlow accepts one completed flow.

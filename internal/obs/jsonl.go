@@ -116,51 +116,33 @@ func (m *MetricsWriter) Flush() error {
 	return m.err
 }
 
-// JSONL record shapes. Every line carries "type" so a stream mixing
-// sample kinds, flow records, and solver records stays self-describing.
-type linkLine struct {
-	Type       string  `json:"type"` // "link"
-	Net        int     `json:"net"`
-	TPs        int64   `json:"t_ps"`
-	Link       int64   `json:"link"`
-	Plane      int32   `json:"plane"`
-	QueueBytes int32   `json:"queue_bytes"`
-	Util       float64 `json:"util"`
-	TxBytes    int64   `json:"tx_bytes"`
-	Drops      int64   `json:"drops"`
-}
+// The JSONL record shapes live in schema.go; every line carries "type"
+// so a stream mixing sample kinds, flow records, and solver records
+// stays self-describing.
 
-type planeLine struct {
-	Type    string `json:"type"` // "plane"
-	Net     int    `json:"net"`
-	TPs     int64  `json:"t_ps"`
-	Plane   int32  `json:"plane"`
-	TxBytes int64  `json:"tx_bytes"`
-}
-
-type engineLine struct {
-	Type     string `json:"type"` // "engine"
-	Net      int    `json:"net"`
-	TPs      int64  `json:"t_ps"`
-	Events   uint64 `json:"events"`
-	HeapLen  int    `json:"heap"`
-	WallNano int64  `json:"wall_ns"`
-}
-
-func (m *MetricsWriter) writeLinkSample(net int, s LinkSample) {
-	m.write(linkLine{
-		Type: "link", Net: net, TPs: int64(s.T), Link: int64(s.Link), Plane: s.Plane,
+// Record converts an in-memory sample to its JSONL record shape.
+func (s LinkSample) Record(net int) LinkRecord {
+	return LinkRecord{
+		Type: KindLink, Net: net, TPs: int64(s.T), Link: int64(s.Link), Plane: s.Plane,
 		QueueBytes: s.QueueBytes, Util: s.Util, TxBytes: s.TxBytes, Drops: s.Drops,
-	})
+	}
 }
 
-func (m *MetricsWriter) writePlaneSample(net int, s PlaneSample) {
-	m.write(planeLine{Type: "plane", Net: net, TPs: int64(s.T), Plane: s.Plane, TxBytes: s.TxBytes})
+// Record converts an in-memory sample to its JSONL record shape.
+func (s PlaneSample) Record(net int) PlaneRecord {
+	return PlaneRecord{Type: KindPlane, Net: net, TPs: int64(s.T), Plane: s.Plane, TxBytes: s.TxBytes}
 }
 
-func (m *MetricsWriter) writeEngineSample(net int, s EngineSample) {
-	m.write(engineLine{
-		Type: "engine", Net: net, TPs: int64(s.T), Events: s.Events,
+// Record converts an in-memory sample to its JSONL record shape.
+func (s EngineSample) Record(net int) EngineRecord {
+	return EngineRecord{
+		Type: KindEngine, Net: net, TPs: int64(s.T), Events: s.Events,
 		HeapLen: s.HeapLen, WallNano: s.Wall.Nanoseconds(),
-	})
+	}
 }
+
+func (m *MetricsWriter) writeLinkSample(net int, s LinkSample) { m.write(s.Record(net)) }
+
+func (m *MetricsWriter) writePlaneSample(net int, s PlaneSample) { m.write(s.Record(net)) }
+
+func (m *MetricsWriter) writeEngineSample(net int, s EngineSample) { m.write(s.Record(net)) }

@@ -182,20 +182,8 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
-// MetricSnapshot is one metric's exported state.
-type MetricSnapshot struct {
-	Type string `json:"type"` // always "metric"
-	Name string `json:"name"`
-	Kind string `json:"kind"` // counter | gauge | histogram
-	// Value is the counter/gauge value, or the histogram mean.
-	Value float64 `json:"value"`
-	Count int64   `json:"count,omitempty"` // histogram observations
-	P50   float64 `json:"p50,omitempty"`
-	P99   float64 `json:"p99,omitempty"`
-	Max   float64 `json:"max,omitempty"`
-}
-
-// Snapshot returns every metric, sorted by (kind, name) for determinism.
+// Snapshot returns every metric (as MetricSnapshot records, see
+// schema.go), sorted by (kind, name) for determinism.
 func (r *Registry) Snapshot() []MetricSnapshot {
 	var out []MetricSnapshot
 	for name, c := range r.counters {
@@ -207,8 +195,9 @@ func (r *Registry) Snapshot() []MetricSnapshot {
 	for name, h := range r.hists {
 		out = append(out, MetricSnapshot{
 			Type: "metric", Name: name, Kind: "histogram",
-			Value: h.Mean(), Count: h.Count(),
-			P50: h.Quantile(0.50), P99: h.Quantile(0.99), Max: h.Max(),
+			Value: h.Mean(), Count: h.Count(), Min: h.Min(),
+			P50: h.Quantile(0.50), P99: h.Quantile(0.99), P999: h.Quantile(0.999),
+			Max: h.Max(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -75,6 +75,155 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 }
 
+// TestSnapshotTailQuantiles: the snapshot must carry the p999 tail
+// (what Fig. 11 actually plots) and the exact minimum, alongside the
+// existing p50/p99/max.
+func TestSnapshotTailQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("fct")
+	// 500 observations at 1ms, one at 1s: the outlier is the top 0.2%
+	// of the sample, so p99 stays low while p999 must reach its bucket.
+	for i := 0; i < 500; i++ {
+		h.Observe(1e-3)
+	}
+	h.Observe(1.0)
+	snap := r.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	m := snap[0]
+	if m.Min != 1e-3 {
+		t.Errorf("min = %v, want 1e-3", m.Min)
+	}
+	if m.P999 < 0.5 || m.P999 > 1.0 {
+		t.Errorf("p999 = %v, want within 2x of the 1s outlier", m.P999)
+	}
+	if m.P99 > 2e-3 {
+		t.Errorf("p99 = %v, should not see the outlier", m.P99)
+	}
+	if m.P999 < m.P99 || m.Max != 1.0 {
+		t.Errorf("tail ordering broken: p99=%v p999=%v max=%v", m.P99, m.P999, m.Max)
+	}
+}
+
+// countingSink reduces samples on arrival, standing in for
+// internal/report's aggregator.
+type countingSink struct {
+	links, planes, engines int
+	lastNet                int
+}
+
+func (c *countingSink) LinkSample(net int, s LinkSample)     { c.links++; c.lastNet = net }
+func (c *countingSink) PlaneSample(net int, s PlaneSample)   { c.planes++ }
+func (c *countingSink) EngineSample(net int, s EngineSample) { c.engines++ }
+
+// TestSampleSinkWithDropSamples: with a sink attached and DropSamples
+// set, samples flow to the sink and the sampler retains nothing — the
+// bounded-memory path `pnetbench -report` uses.
+func TestSampleSinkWithDropSamples(t *testing.T) {
+	g, p0, _ := twoPlane()
+	eng := sim.NewEngine()
+	net := sim.NewNetwork(eng, g, sim.Config{})
+
+	sink := &countingSink{lastNet: -1}
+	c := NewCollector()
+	c.Interval = sim.Microsecond
+	c.Sink = sink
+	c.DropSamples = true
+	sampler := c.AttachNetwork(eng, net)
+	if sampler == nil {
+		t.Fatal("no sampler started for a sink-only collector")
+	}
+
+	rs := &releaseSink{net: net}
+	for i := 0; i < 10; i++ {
+		p := net.NewPacket()
+		p.Size = 1500
+		p.Route = p0
+		p.Deliver = rs
+		net.Send(p)
+	}
+	eng.Run()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if sink.engines == 0 || sink.planes == 0 || sink.links == 0 {
+		t.Fatalf("sink saw %d/%d/%d link/plane/engine samples", sink.links, sink.planes, sink.engines)
+	}
+	if sink.lastNet != 0 {
+		t.Errorf("sink net id = %d", sink.lastNet)
+	}
+	if len(sampler.Links) != 0 || len(sampler.Planes) != 0 || len(sampler.Engine) != 0 {
+		t.Errorf("DropSamples retained %d/%d/%d samples",
+			len(sampler.Links), len(sampler.Planes), len(sampler.Engine))
+	}
+}
+
+// TestTraceLineMatchesPacketRecord pins the hand-built trace line to
+// the PacketRecord schema struct: decoding a sink line into the struct
+// and re-encoding it must agree field for field.
+func TestTraceLineMatchesPacketRecord(t *testing.T) {
+	g, p0, _ := twoPlane()
+	eng := sim.NewEngine()
+	net := sim.NewNetwork(eng, g, sim.Config{})
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf, eng, g)
+	net.Tracer = sink
+
+	rs := &releaseSink{net: net}
+	p := net.NewPacket()
+	p.Size = 1500
+	p.Route = p0
+	p.Deliver = rs
+	p.FlowID = 42
+	p.Seq = 7
+	net.Send(p)
+	eng.Run()
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := nonEmptyLines(buf.String())
+	if len(lines) == 0 {
+		t.Fatal("no trace lines")
+	}
+	for _, line := range lines {
+		var rec PacketRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("trace line does not decode into PacketRecord: %q: %v", line, err)
+		}
+		if rec.Type != KindPacket || rec.Ev == "" {
+			t.Errorf("decoded record = %+v", rec)
+		}
+		if rec.Flow != 42 || rec.Seq != 7 || rec.Size != 1500 {
+			t.Errorf("field mismatch: %+v from %q", rec, line)
+		}
+		// Re-encode and decode again: generic maps of both forms must
+		// be identical, so the hand-built line carries exactly the
+		// schema's fields.
+		reenc, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var a, b map[string]any
+		if err := json.Unmarshal([]byte(line), &a); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(reenc, &b); err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Errorf("hand-built line has fields the schema lacks (or vice versa):\n%q\n%q", line, reenc)
+		}
+		for k, v := range a {
+			if bv, ok := b[k]; !ok || bv != v {
+				t.Errorf("field %q: line %v vs schema %v", k, v, bv)
+			}
+		}
+	}
+}
+
 func TestHistogramEdgeValues(t *testing.T) {
 	var h Histogram
 	h.Observe(0) // lands in bucket 0, no panic

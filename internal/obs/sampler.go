@@ -40,6 +40,16 @@ type EngineSample struct {
 	Wall    time.Duration // wall time since the previous sample
 }
 
+// SampleSink receives samples as they are taken — the streaming
+// alternative to the Sampler's retained series for consumers (like
+// internal/report's aggregator) that reduce on the fly and must not
+// hold millions of samples live.
+type SampleSink interface {
+	LinkSample(net int, s LinkSample)
+	PlaneSample(net int, s PlaneSample)
+	EngineSample(net int, s EngineSample)
+}
+
 // Sampler periodically snapshots a network from inside the event loop.
 // It schedules itself on the simulation engine, so samples carry sim
 // timestamps; when its tick finds the event heap otherwise empty the
@@ -65,6 +75,8 @@ type Sampler struct {
 	NetID int
 
 	stream *MetricsWriter // optional JSONL mirror of every sample
+	sink   SampleSink     // optional streaming consumer
+	retain bool           // keep the in-memory series (the default)
 
 	interval   sim.Time
 	ticks      int
@@ -87,6 +99,7 @@ func NewSampler(eng *sim.Engine, net *sim.Network, interval sim.Time) *Sampler {
 	s := &Sampler{
 		Eng:       eng,
 		Net:       net,
+		retain:    true,
 		interval:  interval,
 		prevTx:    make([]int64, n),
 		prevDrops: make([]int64, n),
@@ -131,11 +144,16 @@ func (s *Sampler) tick() {
 		HeapLen: s.Eng.HeapLen(),
 		Wall:    wall.Sub(s.prevWall),
 	}
-	s.Engine = append(s.Engine, es)
+	if s.retain {
+		s.Engine = append(s.Engine, es)
+	}
 	s.prevFired = fired
 	s.prevWall = wall
 	if s.stream != nil {
 		s.stream.writeEngineSample(s.NetID, es)
+	}
+	if s.sink != nil {
+		s.sink.EngineSample(s.NetID, es)
 	}
 
 	// Link samples, active links only.
@@ -161,9 +179,14 @@ func (s *Sampler) tick() {
 				TxBytes:    st.TxBytes,
 				Drops:      st.Drops,
 			}
-			s.Links = append(s.Links, ls)
+			if s.retain {
+				s.Links = append(s.Links, ls)
+			}
 			if s.stream != nil {
 				s.stream.writeLinkSample(s.NetID, ls)
+			}
+			if s.sink != nil {
+				s.sink.LinkSample(s.NetID, ls)
 			}
 		}
 		s.prevTx[i] = st.TxBytes
@@ -174,9 +197,14 @@ func (s *Sampler) tick() {
 	// Per-plane totals.
 	for _, p := range s.planeOrder {
 		ps := PlaneSample{T: now, Plane: p, TxBytes: planeBytes[p]}
-		s.Planes = append(s.Planes, ps)
+		if s.retain {
+			s.Planes = append(s.Planes, ps)
+		}
 		if s.stream != nil {
 			s.stream.writePlaneSample(s.NetID, ps)
+		}
+		if s.sink != nil {
+			s.sink.PlaneSample(s.NetID, ps)
 		}
 	}
 

@@ -1,0 +1,121 @@
+package obs
+
+// This file is the single source of truth for every JSONL record shape
+// the telemetry streams emit. internal/report decodes streams with these
+// same structs, so a field added or renamed here changes writer and
+// reader together — schema drift between the two is a compile error, not
+// a silent mis-parse.
+//
+// Every line in a metrics stream carries a "type" discriminator (one of
+// the Kind* constants); the packet-trace stream is all KindPacket lines.
+
+// Record type discriminators, the "type" field of every JSONL line.
+const (
+	KindLink   = "link"
+	KindPlane  = "plane"
+	KindEngine = "engine"
+	KindFlow   = "flow"
+	KindSolver = "solver"
+	KindMetric = "metric"
+	KindPacket = "pkt"
+)
+
+// LinkRecord is one active link's state at one sampling instant. Util is
+// busy transmission time over the sampling interval; TxBytes and Drops
+// are cumulative since the simulation started.
+type LinkRecord struct {
+	Type       string  `json:"type"` // "link"
+	Net        int     `json:"net"`
+	TPs        int64   `json:"t_ps"`
+	Link       int64   `json:"link"`
+	Plane      int32   `json:"plane"`
+	QueueBytes int32   `json:"queue_bytes"`
+	Util       float64 `json:"util"`
+	TxBytes    int64   `json:"tx_bytes"`
+	Drops      int64   `json:"drops"`
+}
+
+// PlaneRecord is one dataplane's cumulative transmitted bytes at one
+// sampling instant — the merged cross-plane view of §7's monitoring.
+type PlaneRecord struct {
+	Type    string `json:"type"` // "plane"
+	Net     int    `json:"net"`
+	TPs     int64  `json:"t_ps"`
+	Plane   int32  `json:"plane"`
+	TxBytes int64  `json:"tx_bytes"`
+}
+
+// EngineRecord is the event engine's state at one sampling instant:
+// events fired and wall time since the previous sample, plus the current
+// heap size.
+type EngineRecord struct {
+	Type     string `json:"type"` // "engine"
+	Net      int    `json:"net"`
+	TPs      int64  `json:"t_ps"`
+	Events   uint64 `json:"events"`
+	HeapLen  int    `json:"heap"`
+	WallNano int64  `json:"wall_ns"`
+}
+
+// FlowRecord captures one completed transport flow.
+type FlowRecord struct {
+	Type        string  `json:"type"` // "flow"
+	ID          int64   `json:"id"`
+	Transport   string  `json:"transport"` // "tcp" | "ndp"
+	Src         int64   `json:"src"`
+	Dst         int64   `json:"dst"`
+	Bytes       int64   `json:"bytes"`
+	FCT         float64 `json:"fct_s"`
+	Retransmits int64   `json:"retransmits"`
+	Subflows    int     `json:"subflows"`
+	// Planes lists the distinct dataplanes the flow's paths use — the
+	// path/plane choice the paper's §7 monitoring must merge.
+	Planes []int32 `json:"planes"`
+}
+
+// SolverRecord captures one LP/flow-solver invocation: which experiment
+// asked, which solver ran, and the Garg–Könemann phase/iteration counts
+// and wall time from internal/mcf.
+type SolverRecord struct {
+	Type       string  `json:"type"` // "solver"
+	Exp        string  `json:"exp"`
+	Solver     string  `json:"solver"` // "gk-fixed" | "gk-free" | "maxmin" | "simplex"
+	K          int     `json:"k,omitempty"`
+	Lambda     float64 `json:"lambda"`
+	Phases     int     `json:"phases"`
+	Iterations int64   `json:"iterations"`
+	Attempts   int     `json:"attempts"`
+	WallSec    float64 `json:"wall_s"`
+}
+
+// MetricSnapshot is one metric's exported state, written once per metric
+// when the collector closes.
+type MetricSnapshot struct {
+	Type string `json:"type"` // "metric"
+	Name string `json:"name"`
+	Kind string `json:"kind"` // counter | gauge | histogram
+	// Value is the counter/gauge value, or the histogram mean.
+	Value float64 `json:"value"`
+	Count int64   `json:"count,omitempty"` // histogram observations
+	Min   float64 `json:"min,omitempty"`
+	P50   float64 `json:"p50,omitempty"`
+	P99   float64 `json:"p99,omitempty"`
+	P999  float64 `json:"p999,omitempty"`
+	Max   float64 `json:"max,omitempty"`
+}
+
+// PacketRecord is one packet lifecycle event of the trace stream. The
+// hot-path writer (JSONLSink) hand-builds these lines without going
+// through encoding/json; TestTraceLineMatchesPacketRecord pins the two
+// representations together.
+type PacketRecord struct {
+	Type    string `json:"type"` // "pkt"
+	Ev      string `json:"ev"`   // enqueue | drop | trim | deliver
+	TPs     int64  `json:"t_ps"`
+	Link    int64  `json:"link"`
+	Plane   int32  `json:"plane"`
+	Flow    int64  `json:"flow"`
+	Seq     int64  `json:"seq"`
+	Size    int32  `json:"size"`
+	Trimmed bool   `json:"trimmed,omitempty"`
+}

@@ -1,0 +1,181 @@
+package report
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// BenchPrefix names the trajectory files: BENCH_<stamp>.json at the
+// repository root, one per recorded run, newest = lexicographically
+// greatest stamp (stamps are UTC 20060102T150405, so name order is time
+// order).
+const BenchPrefix = "BENCH_"
+
+// BenchStamp formats a timestamp the way trajectory filenames expect.
+func BenchStamp(t time.Time) string { return t.UTC().Format("20060102T150405") }
+
+// BenchPath returns dir/BENCH_<stamp>.json.
+func BenchPath(dir, stamp string) string {
+	return filepath.Join(dir, BenchPrefix+stamp+".json")
+}
+
+// WriteBench serializes s to dir/BENCH_<stamp>.json, deriving the stamp
+// from s.Created (RFC3339). The file is indented so committed baselines
+// diff readably.
+func WriteBench(dir string, s RunSummary) (string, error) {
+	if s.Created == "" {
+		return "", errors.New("report: summary has no Created timestamp to derive a stamp from")
+	}
+	t, err := time.Parse(time.RFC3339, s.Created)
+	if err != nil {
+		return "", fmt.Errorf("report: bad Created timestamp %q: %w", s.Created, err)
+	}
+	path := BenchPath(dir, BenchStamp(t))
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ErrNoBaseline reports an empty trajectory: no BENCH_*.json committed
+// yet.
+var ErrNoBaseline = errors.New("report: no BENCH_*.json baseline found")
+
+// LatestBench finds and loads the newest BENCH_*.json in dir.
+func LatestBench(dir string) (string, RunSummary, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, BenchPrefix+"*.json"))
+	if err != nil {
+		return "", RunSummary{}, err
+	}
+	if len(paths) == 0 {
+		return "", RunSummary{}, ErrNoBaseline
+	}
+	sort.Strings(paths)
+	path := paths[len(paths)-1]
+	s, err := readSummaryJSON(path)
+	return path, s, err
+}
+
+func readSummaryJSON(path string) (RunSummary, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return RunSummary{}, err
+	}
+	var s RunSummary
+	if err := json.Unmarshal(b, &s); err != nil {
+		return RunSummary{}, fmt.Errorf("report: %s: %w", path, err)
+	}
+	if s.SchemaVersion == 0 {
+		return RunSummary{}, fmt.Errorf("report: %s: not a RunSummary (no schema_version)", path)
+	}
+	if s.SchemaVersion > SchemaVersion {
+		return RunSummary{}, fmt.Errorf("report: %s: schema_version %d newer than this binary's %d",
+			path, s.SchemaVersion, SchemaVersion)
+	}
+	return s, nil
+}
+
+// LoadRun reads a run from disk in either accepted format: a RunSummary
+// JSON written by `pnetbench -report`/WriteBench, or a raw metrics JSONL
+// stream, auto-detected by shape. JSONL streams that end in a truncated
+// final line still load (the partial prefix is summarized); the typed
+// error is returned alongside the summary so callers can warn.
+func LoadRun(path string, m Meta) (RunSummary, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return RunSummary{}, err
+	}
+	if isSummaryJSON(b) {
+		return readSummaryJSON(path)
+	}
+	st, rerr := ReadStream(bytes.NewReader(b))
+	if rerr != nil {
+		var pe *ParseError
+		if !errors.As(rerr, &pe) || !pe.Truncated {
+			return FromStream(st, m), fmt.Errorf("%s: %w", path, rerr)
+		}
+		// Tolerated: a stream cut off mid-write keeps its prefix.
+	}
+	return FromStream(st, m), nil
+}
+
+// isSummaryJSON distinguishes one indented RunSummary object from a
+// JSONL stream: a stream's first line is a complete object mentioning a
+// "type" discriminator, a summary starts with "schema_version".
+func isSummaryJSON(b []byte) bool {
+	var probe struct {
+		SchemaVersion int `json:"schema_version"`
+	}
+	if err := json.Unmarshal(b, &probe); err != nil {
+		return false // multiple JSONL lines fail whole-buffer unmarshal
+	}
+	return probe.SchemaVersion != 0
+}
+
+// ParseGoBench extracts benchmark results from `go test -bench` output:
+//
+//	BenchmarkEngineEventLoop-8   5000000   250.3 ns/op   16 B/op   1 allocs/op
+//	BenchmarkGKSolverPhase-8     100       1.2e6 ns/op   42.0 phases
+//
+// The -<GOMAXPROCS> suffix is stripped; units beyond ns/op, B/op, and
+// allocs/op land in GoBench.Metrics keyed by unit. Lines that are not
+// benchmark results are skipped.
+func ParseGoBench(r io.Reader) ([]GoBench, error) {
+	var out []GoBench
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 3 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		runs, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		name := f[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			name = name[:i]
+		}
+		g := GoBench{Name: name, Runs: runs}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				break
+			}
+			switch unit := f[i+1]; unit {
+			case "ns/op":
+				g.NsPerOp = v
+			case "B/op":
+				g.BytesPerOp = v
+			case "allocs/op":
+				g.AllocsPerOp = v
+			default:
+				if g.Metrics == nil {
+					g.Metrics = map[string]float64{}
+				}
+				g.Metrics[unit] = v
+			}
+		}
+		out = append(out, g)
+	}
+	if err := sc.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}

@@ -1,0 +1,181 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DefaultRelThreshold is the relative worsening beyond which a gated
+// metric fails the diff: 10%, loose enough to absorb the log-bucket
+// quantile error while catching real regressions.
+const DefaultRelThreshold = 0.10
+
+// Thresholds configures Diff. Zero value = defaults.
+type Thresholds struct {
+	// Rel is the allowed relative worsening for gated metrics; zero
+	// selects DefaultRelThreshold.
+	Rel float64
+	// PerMetric overrides Rel for individual metric names.
+	PerMetric map[string]float64
+	// GateWall also gates the wall-clock metrics (solver/engine wall
+	// time, events/sec, go-bench ns/op). Off by default: the simulation
+	// metrics are deterministic for a fixed seed, wall time is not, and
+	// a gate that fails on a noisy CI machine teaches people to ignore
+	// it. Turn this on for like-for-like comparisons on one machine.
+	GateWall bool
+}
+
+func (t Thresholds) threshold(metric string) float64 {
+	if v, ok := t.PerMetric[metric]; ok {
+		return v
+	}
+	if t.Rel > 0 {
+		return t.Rel
+	}
+	return DefaultRelThreshold
+}
+
+// Delta is one metric's change from base to cur. Rel is signed so that
+// positive always means "worse" regardless of the metric's direction
+// (FCT up = worse, goodput down = worse).
+type Delta struct {
+	Metric   string  `json:"metric"`
+	Base     float64 `json:"base"`
+	Cur      float64 `json:"cur"`
+	Rel      float64 `json:"rel"` // + = worse, - = better
+	Gated    bool    `json:"gated"`
+	Exceeded bool    `json:"exceeded"`
+}
+
+// DiffReport is the verdict of comparing two runs.
+type DiffReport struct {
+	Deltas []Delta `json:"deltas"`
+	Pass   bool    `json:"pass"`
+}
+
+// Regressions returns the gated deltas that exceeded their threshold.
+func (d DiffReport) Regressions() []Delta {
+	var out []Delta
+	for _, dl := range d.Deltas {
+		if dl.Exceeded {
+			out = append(out, dl)
+		}
+	}
+	return out
+}
+
+// String renders the diff as an aligned table, regressions marked.
+func (d DiffReport) String() string {
+	var b strings.Builder
+	for _, dl := range d.Deltas {
+		mark := " "
+		if dl.Exceeded {
+			mark = "✗"
+		} else if !dl.Gated {
+			mark = "·"
+		}
+		fmt.Fprintf(&b, "%s %-28s %14.6g -> %14.6g  %+7.2f%%\n", mark, dl.Metric, dl.Base, dl.Cur, dl.Rel*100)
+	}
+	if d.Pass {
+		b.WriteString("PASS\n")
+	} else {
+		fmt.Fprintf(&b, "FAIL: %d gated metric(s) regressed\n", len(d.Regressions()))
+	}
+	return b.String()
+}
+
+// direction encodes which way a metric worsens.
+type direction int
+
+const (
+	higherWorse direction = iota
+	lowerWorse
+)
+
+// Diff compares cur against base metric by metric. Deterministic
+// simulation metrics (FCT percentiles, goodput, plane imbalance, drops,
+// solver phases/iterations, engine event counts) are gated: worsening
+// beyond the threshold fails the report. Wall-clock metrics ride along
+// informationally unless t.GateWall is set. Metrics absent from either
+// run (zero observations) are skipped rather than compared against zero.
+func Diff(base, cur RunSummary, t Thresholds) DiffReport {
+	var d DiffReport
+	add := func(name string, b, c float64, dir direction, gated bool) {
+		if b == 0 && c == 0 {
+			return
+		}
+		rel := relWorsening(b, c, dir)
+		dl := Delta{Metric: name, Base: b, Cur: c, Rel: rel, Gated: gated}
+		dl.Exceeded = gated && rel > t.threshold(name)
+		d.Deltas = append(d.Deltas, dl)
+	}
+
+	if base.FCT.Count > 0 && cur.FCT.Count > 0 {
+		add("fct_s.p50", base.FCT.P50, cur.FCT.P50, higherWorse, true)
+		add("fct_s.p99", base.FCT.P99, cur.FCT.P99, higherWorse, true)
+		add("fct_s.p999", base.FCT.P999, cur.FCT.P999, higherWorse, true)
+		add("fct_s.mean", base.FCT.Mean, cur.FCT.Mean, higherWorse, true)
+	}
+	add("flows", float64(base.Flows), float64(cur.Flows), lowerWorse, true)
+	add("flow_bytes", float64(base.FlowBytes), float64(cur.FlowBytes), lowerWorse, true)
+	add("retransmits", float64(base.Retransmits), float64(cur.Retransmits), higherWorse, true)
+	add("goodput_bps", base.GoodputBps, cur.GoodputBps, lowerWorse, true)
+	add("plane_imbalance", base.PlaneImbalance, cur.PlaneImbalance, higherWorse, true)
+	add("drops", float64(base.Drops), float64(cur.Drops), higherWorse, true)
+	if base.LinkUtil.Count > 0 && cur.LinkUtil.Count > 0 {
+		add("link_util.p99", base.LinkUtil.P99, cur.LinkUtil.P99, higherWorse, false)
+		add("queue_bytes.p99", base.QueueBytes.P99, cur.QueueBytes.P99, higherWorse, false)
+	}
+	add("solver.phases", float64(base.Solver.Phases), float64(cur.Solver.Phases), higherWorse, true)
+	add("solver.iterations", float64(base.Solver.Iterations), float64(cur.Solver.Iterations), higherWorse, true)
+	add("solver.wall_s", base.Solver.WallSec, cur.Solver.WallSec, higherWorse, t.GateWall)
+	add("engine.events", float64(base.Engine.Events), float64(cur.Engine.Events), higherWorse, true)
+	add("engine.wall_s", base.Engine.WallSec, cur.Engine.WallSec, higherWorse, t.GateWall)
+	add("engine.events_per_sec", base.Engine.EventsPerSec, cur.Engine.EventsPerSec, lowerWorse, t.GateWall)
+
+	// Go benchmarks, matched by name; wall-clock, so gated only with
+	// GateWall. Allocations are deterministic and always gated.
+	curBench := map[string]GoBench{}
+	for _, g := range cur.GoBench {
+		curBench[g.Name] = g
+	}
+	for _, g := range base.GoBench {
+		c, ok := curBench[g.Name]
+		if !ok {
+			continue
+		}
+		add("gobench."+g.Name+".ns_per_op", g.NsPerOp, c.NsPerOp, higherWorse, t.GateWall)
+		add("gobench."+g.Name+".allocs_per_op", g.AllocsPerOp, c.AllocsPerOp, higherWorse, true)
+	}
+
+	d.Pass = len(d.Regressions()) == 0
+	return d
+}
+
+// relWorsening returns the signed relative change in the "worse"
+// direction: +0.25 means 25% worse, -0.10 means 10% better. A metric
+// appearing out of nowhere (base 0, cur > 0, higher = worse) counts as
+// 100% worse so it trips any sane threshold.
+func relWorsening(base, cur float64, dir direction) float64 {
+	delta := cur - base
+	if dir == lowerWorse {
+		delta = -delta
+	}
+	if base == 0 {
+		if delta > 0 {
+			return 1
+		}
+		if delta < 0 {
+			return -1
+		}
+		return 0
+	}
+	return delta / abs(base)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,170 @@
+// Package report turns the telemetry of internal/obs into decisions: it
+// reads the JSONL metrics streams back (reader.go), aggregates a run
+// into a RunSummary of the quantities the paper's figures plot
+// (summary.go), compares two summaries with thresholded per-metric
+// deltas (diff.go), and maintains the repository's benchmark trajectory
+// as BENCH_<stamp>.json files (bench.go). cmd/pnetstat is the CLI over
+// all of it.
+package report
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"pnet/internal/obs"
+)
+
+// Stream holds every record decoded from one metrics JSONL stream,
+// bucketed by kind in input order.
+type Stream struct {
+	Links   []obs.LinkRecord
+	Planes  []obs.PlaneRecord
+	Engines []obs.EngineRecord
+	Flows   []obs.FlowRecord
+	Solvers []obs.SolverRecord
+	Metrics []obs.MetricSnapshot
+	Packets []obs.PacketRecord
+	// Lines counts successfully decoded records.
+	Lines int
+}
+
+// ErrEmptyStream reports a stream with no records at all — usually a
+// run that never attached telemetry, which callers should distinguish
+// from a run whose metrics are legitimately zero.
+var ErrEmptyStream = errors.New("report: empty telemetry stream")
+
+// ParseError reports a line that could not be decoded. Truncated marks
+// a final line with no trailing newline — the expected shape of a
+// stream cut off mid-write, which callers typically tolerate.
+type ParseError struct {
+	Line      int // 1-based line number
+	Truncated bool
+	Err       error
+}
+
+func (e *ParseError) Error() string {
+	if e.Truncated {
+		return fmt.Sprintf("report: truncated final line %d: %v", e.Line, e.Err)
+	}
+	return fmt.Sprintf("report: bad line %d: %v", e.Line, e.Err)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// UnknownKindError reports a line whose "type" field names a record
+// kind this reader does not know — a schema mismatch between writer
+// and reader versions.
+type UnknownKindError struct {
+	Line int
+	Kind string
+}
+
+func (e *UnknownKindError) Error() string {
+	return fmt.Sprintf("report: line %d: unknown record kind %q", e.Line, e.Kind)
+}
+
+// ReadStream decodes a metrics (or trace) JSONL stream line at a time.
+// On malformed input it returns everything decoded so far alongside a
+// typed error (*ParseError, *UnknownKindError, or ErrEmptyStream), so a
+// partially written stream still yields its prefix.
+func ReadStream(r io.Reader) (*Stream, error) {
+	s := &Stream{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	sawData := false
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		sawData = true
+		if err := s.decodeLine(b); err != nil {
+			var uk *UnknownKindError
+			if errors.As(err, &uk) {
+				uk.Line = line
+				return s, uk
+			}
+			return s, &ParseError{Line: line, Truncated: lastLine(sc), Err: err}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return s, &ParseError{Line: line + 1, Err: err}
+	}
+	if !sawData {
+		return s, ErrEmptyStream
+	}
+	return s, nil
+}
+
+// lastLine reports whether the scanner is at input end — i.e. the
+// failing line was the final one. bufio.Scanner strips the trailing
+// newline either way, so "final line" is the best proxy for "cut off
+// mid-write" without re-reading the source.
+func lastLine(sc *bufio.Scanner) bool { return !sc.Scan() }
+
+// kindHeader decodes only the discriminator, cheap relative to a full
+// record decode.
+type kindHeader struct {
+	Type string `json:"type"`
+}
+
+func (s *Stream) decodeLine(b []byte) error {
+	var h kindHeader
+	if err := json.Unmarshal(b, &h); err != nil {
+		return err
+	}
+	switch h.Type {
+	case obs.KindLink:
+		var r obs.LinkRecord
+		if err := json.Unmarshal(b, &r); err != nil {
+			return err
+		}
+		s.Links = append(s.Links, r)
+	case obs.KindPlane:
+		var r obs.PlaneRecord
+		if err := json.Unmarshal(b, &r); err != nil {
+			return err
+		}
+		s.Planes = append(s.Planes, r)
+	case obs.KindEngine:
+		var r obs.EngineRecord
+		if err := json.Unmarshal(b, &r); err != nil {
+			return err
+		}
+		s.Engines = append(s.Engines, r)
+	case obs.KindFlow:
+		var r obs.FlowRecord
+		if err := json.Unmarshal(b, &r); err != nil {
+			return err
+		}
+		s.Flows = append(s.Flows, r)
+	case obs.KindSolver:
+		var r obs.SolverRecord
+		if err := json.Unmarshal(b, &r); err != nil {
+			return err
+		}
+		s.Solvers = append(s.Solvers, r)
+	case obs.KindMetric:
+		var r obs.MetricSnapshot
+		if err := json.Unmarshal(b, &r); err != nil {
+			return err
+		}
+		s.Metrics = append(s.Metrics, r)
+	case obs.KindPacket:
+		var r obs.PacketRecord
+		if err := json.Unmarshal(b, &r); err != nil {
+			return err
+		}
+		s.Packets = append(s.Packets, r)
+	default:
+		return &UnknownKindError{Kind: h.Type}
+	}
+	s.Lines++
+	return nil
+}

@@ -1,0 +1,358 @@
+package report
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pnet/internal/graph"
+	"pnet/internal/obs"
+	"pnet/internal/sim"
+)
+
+func sampleSummary() RunSummary {
+	a := newAgg()
+	for i := 1; i <= 1000; i++ {
+		a.addFlow(obs.FlowRecord{Bytes: 1000, FCT: float64(i) * 1e-4})
+	}
+	a.addSolver(obs.SolverRecord{Phases: 10, Iterations: 300, Attempts: 1, WallSec: 0.5})
+	a.addSolver(obs.SolverRecord{Phases: 5, Iterations: 100, Attempts: 1, WallSec: 0.25})
+	// Two networks, cumulative plane counters: plane 0 carries 3 MB,
+	// plane 1 carries 1 MB in total.
+	a.addPlane(obs.PlaneRecord{Net: 0, TPs: 1e9, Plane: 0, TxBytes: 1_000_000})
+	a.addPlane(obs.PlaneRecord{Net: 0, TPs: 2e9, Plane: 0, TxBytes: 2_000_000})
+	a.addPlane(obs.PlaneRecord{Net: 0, TPs: 2e9, Plane: 1, TxBytes: 1_000_000})
+	a.addPlane(obs.PlaneRecord{Net: 1, TPs: 2e9, Plane: 0, TxBytes: 1_000_000})
+	a.addLink(obs.LinkRecord{Net: 0, TPs: 1e9, Link: 1, Plane: 0, QueueBytes: 1500, Util: 0.5, Drops: 1})
+	a.addLink(obs.LinkRecord{Net: 0, TPs: 2e9, Link: 1, Plane: 0, QueueBytes: 3000, Util: 0.9, Drops: 4})
+	a.addLink(obs.LinkRecord{Net: 1, TPs: 2e9, Link: 1, Plane: 0, QueueBytes: 0, Util: 0.1, Drops: 2})
+	a.addEngine(obs.EngineRecord{Net: 0, TPs: 2e9, Events: 5000, WallNano: 1e6})
+	a.addEngine(obs.EngineRecord{Net: 1, TPs: 2e9, Events: 5000, WallNano: 1e6})
+	a.engines = 2
+	return a.summary(Meta{Exp: "test", Scale: "small", Seed: 1, Created: "2026-08-05T00:00:00Z"})
+}
+
+func TestRunSummaryAggregation(t *testing.T) {
+	s := sampleSummary()
+	if s.SchemaVersion != SchemaVersion {
+		t.Errorf("schema version = %d", s.SchemaVersion)
+	}
+	if s.Flows != 1000 || s.FlowBytes != 1_000_000 {
+		t.Errorf("flows = %d bytes = %d", s.Flows, s.FlowBytes)
+	}
+	// FCTs are 0.1ms..100ms uniform; exact percentiles.
+	if math.Abs(s.FCT.P50-0.05) > 0.001 {
+		t.Errorf("fct p50 = %v, want ~0.05", s.FCT.P50)
+	}
+	if s.FCT.P99 < 0.098 || s.FCT.P99 > 0.1 {
+		t.Errorf("fct p99 = %v", s.FCT.P99)
+	}
+	if s.FCT.P999 <= s.FCT.P99 || s.FCT.P999 > s.FCT.Max {
+		t.Errorf("fct p999 = %v not in (p99, max]", s.FCT.P999)
+	}
+	// Plane shares: cumulative counters resolve to last value per
+	// (net, plane): plane0 = 2MB + 1MB = 3MB, plane1 = 1MB.
+	if len(s.PlaneShares) != 2 {
+		t.Fatalf("plane shares = %+v", s.PlaneShares)
+	}
+	if s.PlaneShares[0].Bytes != 3_000_000 || s.PlaneShares[1].Bytes != 1_000_000 {
+		t.Errorf("plane bytes = %+v", s.PlaneShares)
+	}
+	if math.Abs(s.PlaneShares[0].Share-0.75) > 1e-9 {
+		t.Errorf("plane 0 share = %v", s.PlaneShares[0].Share)
+	}
+	// Imbalance: max 3MB over mean 2MB.
+	if math.Abs(s.PlaneImbalance-1.5) > 1e-9 {
+		t.Errorf("imbalance = %v", s.PlaneImbalance)
+	}
+	// Drops: cumulative per (net, link): 4 + 2.
+	if s.Drops != 6 {
+		t.Errorf("drops = %d", s.Drops)
+	}
+	if s.Solver.Calls != 2 || s.Solver.Phases != 15 || s.Solver.Iterations != 400 {
+		t.Errorf("solver = %+v", s.Solver)
+	}
+	if s.Solver.WallSec != 0.75 {
+		t.Errorf("solver wall = %v", s.Solver.WallSec)
+	}
+	if s.Engine.Events != 10000 || s.Engine.SimSec != 2e-3 {
+		t.Errorf("engine = %+v", s.Engine)
+	}
+	// Goodput: 1 MB over 2 ms of sim time = 4 Gbit/s.
+	if math.Abs(s.GoodputBps-4e9) > 1 {
+		t.Errorf("goodput = %v", s.GoodputBps)
+	}
+	// Human rendering carries the acceptance quantities.
+	out := s.String()
+	for _, want := range []string{"p50=", "p99=", "p999=", "planes:", "solver:", "wall 0.750s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFromStreamMatchesFromCollector(t *testing.T) {
+	// Drive a tiny two-plane sim through a collector with a JSONL
+	// stream, then summarize both ways: the JSONL round-trip must agree
+	// with the in-memory path on every deterministic field.
+	g := graph.New(4)
+	g.SetTransit(0, false)
+	g.SetTransit(1, false)
+	a0, _ := g.AddDuplex(0, 2, 100, 0)
+	_, d0 := g.AddDuplex(1, 2, 100, 0)
+	a1, _ := g.AddDuplex(0, 3, 100, 1)
+	_, d1 := g.AddDuplex(1, 3, 100, 1)
+
+	var buf bytes.Buffer
+	c := obs.NewCollector()
+	c.Interval = sim.Microsecond
+	c.StreamMetrics(&buf)
+	eng := sim.NewEngine()
+	net := sim.NewNetwork(eng, g, sim.Config{})
+	c.AttachNetwork(eng, net)
+
+	sink := releaseSink{net}
+	for i := 0; i < 50; i++ {
+		p := net.NewPacket()
+		p.Size = 1500
+		if i%2 == 0 {
+			p.Route = []graph.LinkID{a0, d0}
+		} else {
+			p.Route = []graph.LinkID{a1, d1}
+		}
+		p.Deliver = sink
+		net.Send(p)
+	}
+	eng.Run()
+	c.RecordFlow(obs.FlowRecord{ID: 1, Bytes: 75000, FCT: 2e-5, Planes: []int32{0, 1}})
+	c.RecordSolver(obs.SolverRecord{Exp: "t", Solver: "gk-fixed", Phases: 2, Iterations: 9, WallSec: 0.01})
+
+	m := Meta{Exp: "t", Scale: "small", Seed: 1}
+	fromMem := FromCollector(c, m)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ReadStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromJSONL := FromStream(st, m)
+
+	if fromMem.Flows != fromJSONL.Flows || fromMem.FCT != fromJSONL.FCT {
+		t.Errorf("flow mismatch: mem %+v jsonl %+v", fromMem.FCT, fromJSONL.FCT)
+	}
+	if fromMem.Drops != fromJSONL.Drops {
+		t.Errorf("drops: mem %d jsonl %d", fromMem.Drops, fromJSONL.Drops)
+	}
+	if len(fromMem.PlaneShares) != len(fromJSONL.PlaneShares) {
+		t.Fatalf("plane shares: mem %+v jsonl %+v", fromMem.PlaneShares, fromJSONL.PlaneShares)
+	}
+	for i := range fromMem.PlaneShares {
+		if fromMem.PlaneShares[i] != fromJSONL.PlaneShares[i] {
+			t.Errorf("plane share %d: mem %+v jsonl %+v", i, fromMem.PlaneShares[i], fromJSONL.PlaneShares[i])
+		}
+	}
+	if fromMem.LinkUtil != fromJSONL.LinkUtil {
+		t.Errorf("link util: mem %+v jsonl %+v", fromMem.LinkUtil, fromJSONL.LinkUtil)
+	}
+	if fromMem.Engine.Events != fromJSONL.Engine.Events || fromMem.Engine.SimSec != fromJSONL.Engine.SimSec {
+		t.Errorf("engine: mem %+v jsonl %+v", fromMem.Engine, fromJSONL.Engine)
+	}
+	if fromMem.Solver != fromJSONL.Solver {
+		t.Errorf("solver: mem %+v jsonl %+v", fromMem.Solver, fromJSONL.Solver)
+	}
+	if len(fromMem.PlaneShares) != 2 {
+		t.Errorf("expected both planes sampled: %+v", fromMem.PlaneShares)
+	}
+}
+
+type releaseSink struct{ net *sim.Network }
+
+func (r releaseSink) HandlePacket(p *sim.Packet) { r.net.Release(p) }
+
+func TestDiffPassAndFail(t *testing.T) {
+	base := sampleSummary()
+
+	// Identical runs pass with zero deltas.
+	d := Diff(base, base, Thresholds{})
+	if !d.Pass || len(d.Regressions()) != 0 {
+		t.Fatalf("self-diff failed: %s", d)
+	}
+
+	// p99 FCT inflated 20% beyond the 10% default threshold fails the
+	// gate — the acceptance scenario.
+	bad := sampleSummary()
+	bad.FCT.P99 *= 1.2
+	d = Diff(base, bad, Thresholds{})
+	if d.Pass {
+		t.Fatalf("inflated p99 passed:\n%s", d)
+	}
+	regs := d.Regressions()
+	found := false
+	for _, r := range regs {
+		if r.Metric == "fct_s.p99" && r.Rel > 0.19 && r.Rel < 0.21 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("regressions = %+v, want fct_s.p99 at +20%%", regs)
+	}
+
+	// Same inflation under a 30% threshold passes.
+	d = Diff(base, bad, Thresholds{Rel: 0.30})
+	if !d.Pass {
+		t.Errorf("20%% inflation failed a 30%% threshold:\n%s", d)
+	}
+
+	// Per-metric override tightens just one metric.
+	d = Diff(base, bad, Thresholds{Rel: 0.30, PerMetric: map[string]float64{"fct_s.p99": 0.05}})
+	if d.Pass {
+		t.Error("per-metric override did not gate fct_s.p99")
+	}
+
+	// Improvements never fail, whatever the direction.
+	better := sampleSummary()
+	better.FCT.P99 *= 0.5
+	better.GoodputBps *= 2
+	d = Diff(base, better, Thresholds{})
+	if !d.Pass {
+		t.Errorf("improvement failed the gate:\n%s", d)
+	}
+
+	// Goodput is lower-is-worse.
+	slower := sampleSummary()
+	slower.GoodputBps *= 0.5
+	d = Diff(base, slower, Thresholds{})
+	if d.Pass {
+		t.Error("halved goodput passed the gate")
+	}
+}
+
+func TestDiffWallMetricsInformational(t *testing.T) {
+	base := sampleSummary()
+	noisy := sampleSummary()
+	noisy.Solver.WallSec *= 10
+	noisy.Engine.WallSec *= 10
+	noisy.Engine.EventsPerSec /= 10
+	if d := Diff(base, noisy, Thresholds{}); !d.Pass {
+		t.Errorf("wall-clock noise failed the default gate:\n%s", d)
+	}
+	if d := Diff(base, noisy, Thresholds{GateWall: true}); d.Pass {
+		t.Error("GateWall did not gate wall-clock metrics")
+	}
+}
+
+func TestBenchTrajectoryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := LatestBench(dir); !errors.Is(err, ErrNoBaseline) {
+		t.Fatalf("empty dir err = %v, want ErrNoBaseline", err)
+	}
+
+	older := sampleSummary()
+	older.Created = "2026-08-01T12:00:00Z"
+	newer := sampleSummary()
+	newer.Created = "2026-08-05T09:30:00Z"
+	newer.Exp = "newest"
+	for _, s := range []RunSummary{older, newer} {
+		if _, err := WriteBench(dir, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path, got, err := LatestBench(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_20260805T093000.json" {
+		t.Errorf("latest = %s", path)
+	}
+	if got.Exp != "newest" || got.FCT != newer.FCT || got.PlaneImbalance != newer.PlaneImbalance {
+		t.Errorf("round-trip mismatch: %+v", got)
+	}
+
+	// LoadRun reads the same file via format auto-detection.
+	loaded, err := LoadRun(path, Meta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Exp != "newest" {
+		t.Errorf("LoadRun exp = %q", loaded.Exp)
+	}
+
+	// A summary with no timestamp cannot be stamped into the trajectory.
+	unstamped := sampleSummary()
+	unstamped.Created = ""
+	if _, err := WriteBench(dir, unstamped); err == nil {
+		t.Error("WriteBench accepted a summary without Created")
+	}
+}
+
+func TestLoadRunJSONLAndTruncation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.jsonl")
+	jsonl := `{"type":"flow","id":1,"bytes":100,"fct_s":0.01}` + "\n" +
+		`{"type":"flow","id":2,"bytes":100,"fct_s":0.03}` + "\n"
+	if err := os.WriteFile(path, []byte(jsonl), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadRun(path, Meta{Exp: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Flows != 2 || s.FCT.Max != 0.03 || s.Exp != "x" {
+		t.Errorf("summary = %+v", s)
+	}
+
+	// A truncated final line is tolerated: prefix summarized, no error.
+	if err := os.WriteFile(path, []byte(jsonl+`{"type":"flow","id":3,"by`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err = LoadRun(path, Meta{})
+	if err != nil {
+		t.Fatalf("truncated stream not tolerated: %v", err)
+	}
+	if s.Flows != 2 {
+		t.Errorf("flows = %d, want the 2 complete records", s.Flows)
+	}
+
+	// Mid-file garbage is not: partial summary plus the typed error.
+	if err := os.WriteFile(path, []byte("junk\n"+jsonl), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err = LoadRun(path, Meta{}); err == nil {
+		t.Error("mid-file garbage loaded silently")
+	}
+}
+
+func TestParseGoBench(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: pnet
+BenchmarkEngineEventLoop-8   	 5000000	       251.5 ns/op	      16 B/op	       1 allocs/op
+BenchmarkGKSolverPhase-8     	     100	   1200000 ns/op	        42.0 phases	      28571 ns/phase
+PASS
+ok  	pnet	3.1s
+`
+	got, err := ParseGoBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks: %+v", len(got), got)
+	}
+	e := got[0]
+	if e.Name != "BenchmarkEngineEventLoop" || e.Runs != 5000000 ||
+		e.NsPerOp != 251.5 || e.BytesPerOp != 16 || e.AllocsPerOp != 1 {
+		t.Errorf("engine bench = %+v", e)
+	}
+	g := got[1]
+	if g.Name != "BenchmarkGKSolverPhase" || g.NsPerOp != 1200000 {
+		t.Errorf("gk bench = %+v", g)
+	}
+	if g.Metrics["phases"] != 42 || g.Metrics["ns/phase"] != 28571 {
+		t.Errorf("custom metrics = %+v", g.Metrics)
+	}
+}

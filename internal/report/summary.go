@@ -1,0 +1,424 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pnet/internal/metrics"
+	"pnet/internal/obs"
+)
+
+// SchemaVersion is bumped whenever RunSummary's JSON shape changes
+// incompatibly, so old BENCH_*.json baselines are detectable.
+const SchemaVersion = 1
+
+// Dist summarizes one distribution. FCT distributions are computed
+// exactly from the raw samples; link-level distributions come from
+// log-bucketed histograms (2x worst-case quantile error, like
+// obs.Histogram).
+type Dist struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	P50   float64 `json:"p50"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+	Max   float64 `json:"max"`
+}
+
+// PlaneShare is one dataplane's slice of the run's traffic.
+type PlaneShare struct {
+	Plane int32   `json:"plane"`
+	Bytes int64   `json:"bytes"`
+	Share float64 `json:"share"` // fraction of all plane bytes
+}
+
+// SolverSummary aggregates the LP/flow-solver invocations of a run.
+type SolverSummary struct {
+	Calls      int     `json:"calls"`
+	Phases     int64   `json:"phases"`
+	Iterations int64   `json:"iterations"`
+	Attempts   int64   `json:"attempts"`
+	WallSec    float64 `json:"wall_s"` // total wall time of all solves
+}
+
+// EngineSummary aggregates the event-engine samples of a run.
+type EngineSummary struct {
+	Networks     int     `json:"networks"`
+	Events       uint64  `json:"events"`
+	WallSec      float64 `json:"wall_s"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	SimSec       float64 `json:"sim_s"` // latest sim timestamp sampled
+}
+
+// GoBench is one `go test -bench` result folded into the trajectory.
+type GoBench struct {
+	Name        string             `json:"name"`
+	Runs        int64              `json:"runs"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"` // custom b.ReportMetric units
+}
+
+// RunSummary is one run of the experiment harness reduced to the
+// quantities the paper's evaluation plots: FCT percentiles (Figs. 9-11,
+// 13, 16-20), per-plane balance (Figs. 6/8), solver convergence, and
+// engine throughput. It is the unit of the BENCH_*.json trajectory and
+// of pnetstat's diff/gate.
+type RunSummary struct {
+	SchemaVersion int    `json:"schema_version"`
+	Created       string `json:"created,omitempty"` // RFC3339
+	Exp           string `json:"exp,omitempty"`
+	Scale         string `json:"scale,omitempty"`
+	Seed          int64  `json:"seed,omitempty"`
+
+	Flows       int64   `json:"flows"`
+	FlowBytes   int64   `json:"flow_bytes"`
+	Retransmits int64   `json:"retransmits"`
+	FCT         Dist    `json:"fct_s"`
+	GoodputBps  float64 `json:"goodput_bps,omitempty"`
+
+	PlaneShares    []PlaneShare `json:"plane_shares,omitempty"`
+	PlaneImbalance float64      `json:"plane_imbalance,omitempty"` // max/mean of plane bytes
+
+	LinkUtil   Dist  `json:"link_util"`
+	QueueBytes Dist  `json:"queue_bytes"`
+	Drops      int64 `json:"drops"`
+
+	Solver SolverSummary `json:"solver"`
+	Engine EngineSummary `json:"engine"`
+
+	GoBench []GoBench `json:"go_bench,omitempty"`
+}
+
+// Meta carries run identity that telemetry itself does not record.
+type Meta struct {
+	Exp     string
+	Scale   string
+	Seed    int64
+	Created string // RFC3339; stamped by the caller, never by this package
+}
+
+// agg accumulates telemetry into a RunSummary; both construction paths
+// (in-memory collector, JSONL stream) feed the same aggregation.
+type agg struct {
+	fcts    []float64
+	bytes   int64
+	retrans int64
+	util    obs.Histogram
+	queue   obs.Histogram
+	// drops and tx samples are cumulative per (net, link)/(net, plane);
+	// keep the last value per key and sum at the end.
+	linkDrops  map[[2]int64]int64
+	planeBytes map[[2]int64]int64
+	engines    int
+	events     uint64
+	wallNs     int64
+	simPs      int64
+	solver     SolverSummary
+}
+
+func newAgg() *agg {
+	return &agg{
+		linkDrops:  map[[2]int64]int64{},
+		planeBytes: map[[2]int64]int64{},
+	}
+}
+
+func (a *agg) addFlow(f obs.FlowRecord) {
+	a.fcts = append(a.fcts, f.FCT)
+	a.bytes += f.Bytes
+	a.retrans += f.Retransmits
+}
+
+func (a *agg) addSolver(r obs.SolverRecord) {
+	a.solver.Calls++
+	a.solver.Phases += int64(r.Phases)
+	a.solver.Iterations += r.Iterations
+	a.solver.Attempts += int64(r.Attempts)
+	a.solver.WallSec += r.WallSec
+}
+
+func (a *agg) addLink(r obs.LinkRecord) {
+	a.util.Observe(r.Util)
+	a.queue.Observe(float64(r.QueueBytes))
+	a.linkDrops[[2]int64{int64(r.Net), r.Link}] = r.Drops
+	if r.TPs > a.simPs {
+		a.simPs = r.TPs
+	}
+}
+
+func (a *agg) addPlane(r obs.PlaneRecord) {
+	a.planeBytes[[2]int64{int64(r.Net), int64(r.Plane)}] = r.TxBytes
+	if r.TPs > a.simPs {
+		a.simPs = r.TPs
+	}
+}
+
+func (a *agg) addEngine(r obs.EngineRecord) {
+	a.events += r.Events
+	a.wallNs += r.WallNano
+	if r.TPs > a.simPs {
+		a.simPs = r.TPs
+	}
+}
+
+func (a *agg) summary(m Meta) RunSummary {
+	s := RunSummary{
+		SchemaVersion: SchemaVersion,
+		Created:       m.Created,
+		Exp:           m.Exp,
+		Scale:         m.Scale,
+		Seed:          m.Seed,
+		Flows:         int64(len(a.fcts)),
+		FlowBytes:     a.bytes,
+		Retransmits:   a.retrans,
+		FCT:           distFromSamples(a.fcts),
+		LinkUtil:      distFromHist(&a.util),
+		QueueBytes:    distFromHist(&a.queue),
+		Solver:        a.solver,
+	}
+
+	for _, d := range a.linkDrops {
+		s.Drops += d
+	}
+
+	// Per-plane byte shares, merged across networks, sorted by plane.
+	perPlane := map[int32]int64{}
+	var total int64
+	for key, b := range a.planeBytes {
+		perPlane[int32(key[1])] += b
+		total += b
+	}
+	planes := make([]int32, 0, len(perPlane))
+	for p := range perPlane {
+		planes = append(planes, p)
+	}
+	sort.Slice(planes, func(i, j int) bool { return planes[i] < planes[j] })
+	var maxBytes int64
+	for _, p := range planes {
+		b := perPlane[p]
+		share := 0.0
+		if total > 0 {
+			share = float64(b) / float64(total)
+		}
+		s.PlaneShares = append(s.PlaneShares, PlaneShare{Plane: p, Bytes: b, Share: share})
+		if b > maxBytes {
+			maxBytes = b
+		}
+	}
+	if len(planes) > 0 && total > 0 {
+		mean := float64(total) / float64(len(planes))
+		s.PlaneImbalance = float64(maxBytes) / mean
+	}
+
+	s.Engine = EngineSummary{
+		Networks: a.engines,
+		Events:   a.events,
+		WallSec:  float64(a.wallNs) / 1e9,
+		SimSec:   float64(a.simPs) / 1e12,
+	}
+	if s.Engine.WallSec > 0 {
+		s.Engine.EventsPerSec = float64(a.events) / s.Engine.WallSec
+	}
+	if s.Engine.SimSec > 0 {
+		s.GoodputBps = float64(a.bytes) * 8 / s.Engine.SimSec
+	}
+	return s
+}
+
+// Aggregator is the streaming construction path for RunSummary: attach
+// it as the collector's SampleSink (with DropSamples set) and every
+// sample reduces on arrival instead of accumulating in sampler series —
+// bounded memory however long the run. This is what `pnetbench -report`
+// uses; `-exp all` would otherwise hold tens of millions of link
+// samples live.
+type Aggregator struct{ a *agg }
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator() *Aggregator { return &Aggregator{a: newAgg()} }
+
+// LinkSample implements obs.SampleSink.
+func (x *Aggregator) LinkSample(net int, s obs.LinkSample) { x.a.addLink(s.Record(net)) }
+
+// PlaneSample implements obs.SampleSink.
+func (x *Aggregator) PlaneSample(net int, s obs.PlaneSample) { x.a.addPlane(s.Record(net)) }
+
+// EngineSample implements obs.SampleSink.
+func (x *Aggregator) EngineSample(net int, s obs.EngineSample) { x.a.addEngine(s.Record(net)) }
+
+// Summarize folds the collector's flow and solver records in and
+// returns the run summary. Call once, when the run is over.
+func (x *Aggregator) Summarize(c *obs.Collector, m Meta) RunSummary {
+	for _, f := range c.Flows {
+		x.a.addFlow(f)
+	}
+	for _, r := range c.Solver {
+		x.a.addSolver(r)
+	}
+	x.a.engines = len(c.Samplers())
+	return x.a.summary(m)
+}
+
+// FromCollector summarizes a run from the collector's retained sampler
+// series — the simple path when DropSamples is off. Runs that attached
+// an Aggregator as the collector's sink should use its Summarize
+// instead.
+func FromCollector(c *obs.Collector, m Meta) RunSummary {
+	a := newAgg()
+	for _, f := range c.Flows {
+		a.addFlow(f)
+	}
+	for _, r := range c.Solver {
+		a.addSolver(r)
+	}
+	for _, sm := range c.Samplers() {
+		a.engines++
+		for _, ls := range sm.Links {
+			a.addLink(ls.Record(sm.NetID))
+		}
+		for _, ps := range sm.Planes {
+			a.addPlane(ps.Record(sm.NetID))
+		}
+		for _, es := range sm.Engine {
+			a.addEngine(es.Record(sm.NetID))
+		}
+	}
+	return a.summary(m)
+}
+
+// FromStream summarizes a run from a decoded JSONL metrics stream.
+func FromStream(st *Stream, m Meta) RunSummary {
+	a := newAgg()
+	for _, f := range st.Flows {
+		a.addFlow(f)
+	}
+	for _, r := range st.Solvers {
+		a.addSolver(r)
+	}
+	nets := map[int]bool{}
+	for _, r := range st.Links {
+		a.addLink(r)
+	}
+	for _, r := range st.Planes {
+		a.addPlane(r)
+	}
+	for _, r := range st.Engines {
+		nets[r.Net] = true
+		a.addEngine(r)
+	}
+	a.engines = len(nets)
+	return a.summary(m)
+}
+
+func distFromSamples(xs []float64) Dist {
+	if len(xs) == 0 {
+		return Dist{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, x := range sorted {
+		sum += x
+	}
+	return Dist{
+		Count: int64(len(sorted)),
+		Mean:  sum / float64(len(sorted)),
+		Min:   sorted[0],
+		P50:   metrics.Percentile(sorted, 50),
+		P99:   metrics.Percentile(sorted, 99),
+		P999:  metrics.Percentile(sorted, 99.9),
+		Max:   sorted[len(sorted)-1],
+	}
+}
+
+func distFromHist(h *obs.Histogram) Dist {
+	if h.Count() == 0 {
+		return Dist{}
+	}
+	return Dist{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		P50:   h.Quantile(0.50),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+		Max:   h.Max(),
+	}
+}
+
+// String renders the summary for humans: the FCT tail, plane balance,
+// solver convergence, and engine throughput the acceptance figures need.
+func (s RunSummary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "run: exp=%s scale=%s seed=%d", orDash(s.Exp), orDash(s.Scale), s.Seed)
+	if s.Created != "" {
+		fmt.Fprintf(&b, " created=%s", s.Created)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "flows: %d (%d bytes, %d retransmits)\n", s.Flows, s.FlowBytes, s.Retransmits)
+	if s.FCT.Count > 0 {
+		fmt.Fprintf(&b, "fct:   p50=%s p99=%s p999=%s mean=%s max=%s\n",
+			secs(s.FCT.P50), secs(s.FCT.P99), secs(s.FCT.P999), secs(s.FCT.Mean), secs(s.FCT.Max))
+	}
+	if s.GoodputBps > 0 {
+		fmt.Fprintf(&b, "goodput: %.4g Gbit/s over %.4g s of sim time\n", s.GoodputBps/1e9, s.Engine.SimSec)
+	}
+	if len(s.PlaneShares) > 0 {
+		b.WriteString("planes:")
+		for _, p := range s.PlaneShares {
+			fmt.Fprintf(&b, " %d=%.1f%%", p.Plane, p.Share*100)
+		}
+		fmt.Fprintf(&b, " (imbalance max/mean %.3f)\n", s.PlaneImbalance)
+	}
+	if s.LinkUtil.Count > 0 {
+		fmt.Fprintf(&b, "link util: p50=%.3f p99=%.3f max=%.3f (%d samples); drops=%d\n",
+			s.LinkUtil.P50, s.LinkUtil.P99, s.LinkUtil.Max, s.LinkUtil.Count, s.Drops)
+	}
+	fmt.Fprintf(&b, "solver: %d calls, %d phases, %d iterations, wall %.3fs\n",
+		s.Solver.Calls, s.Solver.Phases, s.Solver.Iterations, s.Solver.WallSec)
+	if s.Engine.Events > 0 {
+		fmt.Fprintf(&b, "engine: %d events in %.3fs wall (%.3g events/s) across %d networks\n",
+			s.Engine.Events, s.Engine.WallSec, s.Engine.EventsPerSec, s.Engine.Networks)
+	}
+	for _, g := range s.GoBench {
+		fmt.Fprintf(&b, "gobench: %s %.4g ns/op", g.Name, g.NsPerOp)
+		for _, k := range sortedKeys(g.Metrics) {
+			fmt.Fprintf(&b, " %.4g %s", g.Metrics[k], k)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// secs formats seconds with engineering-friendly precision.
+func secs(v float64) string {
+	switch {
+	case v >= 1:
+		return fmt.Sprintf("%.3gs", v)
+	case v >= 1e-3:
+		return fmt.Sprintf("%.3gms", v*1e3)
+	case v >= 1e-6:
+		return fmt.Sprintf("%.3gus", v*1e6)
+	default:
+		return fmt.Sprintf("%.0fns", v*1e9)
+	}
+}
