@@ -7,6 +7,7 @@
 //	pnetbench -exp fig6a
 //	pnetbench -exp all -scale full -seed 7
 //	pnetbench -exp fig6c -metrics m.jsonl -trace t.jsonl
+//	pnetbench -exp faults -chaos "plane:0@10ms+20ms; poisson:mttf=50ms,mttr=5ms,until=100ms"
 //
 // Each experiment prints the rows/series of the corresponding paper
 // artifact. The default "small" scale shrinks topologies and flow sizes
@@ -35,6 +36,7 @@ import (
 	"os"
 	"time"
 
+	"pnet/internal/chaos"
 	"pnet/internal/exp"
 	"pnet/internal/obs"
 	"pnet/internal/report"
@@ -53,6 +55,7 @@ func main() {
 		trace   = flag.String("trace", "", "stream packet lifecycle events as JSONL to this file ('-' = stdout)")
 		sample  = flag.Duration("sample", 0, "sampling interval for -metrics/-report (default 10us of sim time)")
 		reportF = flag.String("report", "", "write a RunSummary JSON for pnetstat to this file")
+		chaosF  = flag.String("chaos", "", "fault script for fault-aware experiments ('help' prints the syntax)")
 		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
@@ -70,6 +73,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Before the -list/empty-exp early return, so a bare
+	// `pnetbench -chaos help` prints the syntax, not the experiment list.
+	if *chaosF == "help" {
+		fmt.Println(chaos.SpecSyntax)
+		return
+	}
+
 	if *list || *expID == "" {
 		fmt.Println("experiments:")
 		for _, e := range exp.All() {
@@ -81,7 +91,13 @@ func main() {
 		return
 	}
 
-	params := exp.Params{Seed: *seed}
+	chaosSpec, err := chaos.ParseSpec(*chaosF)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pnetbench: %v\n", err)
+		os.Exit(2)
+	}
+
+	params := exp.Params{Seed: *seed, Chaos: chaosSpec}
 	switch *scale {
 	case "small":
 		params.Scale = exp.ScaleSmall

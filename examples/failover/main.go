@@ -11,9 +11,14 @@ package main
 import (
 	"fmt"
 
+	"pnet/internal/chaos"
 	"pnet/internal/core"
 	"pnet/internal/failure"
+	"pnet/internal/graph"
+	"pnet/internal/sim"
+	"pnet/internal/tcp"
 	"pnet/internal/topo"
+	"pnet/internal/workload"
 )
 
 func main() {
@@ -78,4 +83,56 @@ func main() {
 	fmt.Println("\nSerial networks lose short paths quickly; the P-Net's extra")
 	fmt.Println("planes preserve them (the paper reports +22% hops for serial vs")
 	fmt.Println("+3% for a 4-plane homogeneous P-Net at 40% failures).")
+
+	// Part 3: the failover measured end to end, with no oracle. A plane
+	// dies physically mid-simulation; the hosts only learn of it when
+	// their liveness probes fall silent, and the stalled subflow is
+	// re-established on the surviving plane at the next timeout.
+	fmt.Println("\nkilling a plane mid-simulation (runtime fault injection):")
+	ft := topo.FatTreeSet(4, 2, 100).ParallelHomo
+	d := workload.NewDriver(ft, sim.Config{}, tcp.Config{StallRTOs: 2})
+
+	mon := core.NewHealthMonitor(d.Eng, d.Net, d.PNet, 0, 1, core.HealthConfig{
+		Interval: 100 * sim.Microsecond,
+	})
+	faultAt := 500 * sim.Microsecond
+	var detectedAt, failoverAt sim.Time = -1, -1
+	mon.OnChange = func(e core.PlaneEvent) {
+		if !e.Up && detectedAt < 0 {
+			detectedAt = e.At
+			fmt.Printf("  t=%-8v monitor declares plane %d down (detection latency %v)\n",
+				e.At, e.Plane, e.At-faultAt)
+		}
+	}
+	mon.Start()
+
+	var sched chaos.Schedule
+	sched.PlaneOutage(0, faultAt, 0)
+	inj := chaos.NewInjector(d.Eng, d.Net, sched)
+	inj.OnEvent = func(e chaos.Event) {
+		fmt.Printf("  t=%-8v chaos: %v %s (%d links physically down)\n",
+			d.Eng.Now(), e.Kind, e.Target(), inj.LinksDown())
+	}
+	inj.Arm()
+
+	d.OnRepath = func(f *tcp.Flow, i int, to graph.Path) {
+		if failoverAt < 0 {
+			failoverAt = d.Eng.Now()
+			fmt.Printf("  t=%-8v subflow %d re-established on plane %d (failover latency %v after detection)\n",
+				failoverAt, i, to.Plane(ft.G), failoverAt-detectedAt)
+		}
+	}
+
+	flow, err := d.StartFlow(ft.Hosts[2], ft.Hosts[13], 30000*1500,
+		workload.Selection{Policy: workload.KSP, K: 2}, nil, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("  t=%-8v 45 MB MPTCP flow starts, one subflow per plane\n", sim.Time(0))
+	d.Eng.RunUntil(200 * sim.Millisecond)
+
+	fmt.Printf("  flow done=%v in %v; %d packets blackholed by the dead plane\n",
+		flow.Done(), flow.FCT(), d.Net.TotalBlackholed())
+	fmt.Println("\nDetection is probe-driven (~3 probe intervals), failover waits for")
+	fmt.Println("the stalled subflow's RTO — both measured, neither oracle-assisted.")
 }

@@ -173,6 +173,41 @@ func TestMarkPlaneDownReroutesPaths(t *testing.T) {
 	}
 }
 
+func TestMarkPlaneDownUpRoundTrip(t *testing.T) {
+	// Re-upping a plane must restore the exact pre-fault selection, not
+	// just some path: caches and link states have to round-trip cleanly.
+	set := topo.FatTreeSet(4, 2, 100)
+	p := New(set.ParallelHomo)
+	src, dst := p.Topo.Hosts[0], p.Topo.Hosts[15]
+
+	orig, ok := p.LowLatencyPath(src, dst)
+	if !ok {
+		t.Fatal("no path before fault")
+	}
+	p.MarkPlaneDown(0)
+	during, ok := p.LowLatencyPath(src, dst)
+	if !ok || during.Plane(p.Topo.G) != 1 {
+		t.Fatalf("path during outage = %v ok=%v, want plane 1", during, ok)
+	}
+	p.MarkPlaneUp(0)
+	restored, ok := p.LowLatencyPath(src, dst)
+	if !ok {
+		t.Fatal("no path after re-up")
+	}
+	if !restored.Equal(orig) {
+		t.Errorf("restored path %v != original %v", restored, orig)
+	}
+	if !p.PlaneUp(0) || !p.PlaneUp(1) {
+		t.Error("plane status not restored")
+	}
+	// The graph view must round-trip too: every plane-0 host link back up.
+	for h := range p.Topo.Uplinks {
+		if !p.Topo.G.Link(p.Topo.Uplinks[h][0]).Up || !p.Topo.G.Link(p.Topo.Downlinks[h][0]).Up {
+			t.Fatalf("host %d plane-0 links not restored", h)
+		}
+	}
+}
+
 func TestFailLinkInvalidatesCaches(t *testing.T) {
 	set := topo.FatTreeSet(4, 2, 100)
 	p := New(set.ParallelHomo)

@@ -11,7 +11,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
-		"deploy", "fig10", "fig11", "fig12", "fig13a", "fig13b", "fig13c",
+		"deploy", "faults", "fig10", "fig11", "fig12", "fig13a", "fig13b", "fig13c",
 		"fig14", "fig6a", "fig6b", "fig6c", "fig7", "fig8a", "fig8b",
 		"fig8c", "fig9", "figapp", "incast", "isolation", "mixed", "table1", "table2",
 	}

@@ -81,6 +81,49 @@ func TestSweepDeterministicForSeed(t *testing.T) {
 	}
 }
 
+func TestSweepFracZeroIsFailureFree(t *testing.T) {
+	// frac=0 must be a no-op sweep: nothing unreachable, and every trial
+	// measures the identical pristine graph — listing the fraction twice
+	// must yield bit-identical points even though the RNG advances
+	// between them.
+	set := topo.ScaledJellyfish(16, 2, 100, 3)
+	pts := HopCountSweep(set.ParallelHomo, Config{
+		Fractions: []float64{0, 0},
+		Pairs:     200,
+		Trials:    3,
+		Seed:      7,
+	})
+	for i, pt := range pts {
+		if pt.Unreachable != 0 {
+			t.Errorf("point %d: unreachable = %v at frac=0", i, pt.Unreachable)
+		}
+	}
+	if pts[0] != pts[1] {
+		t.Errorf("frac=0 points differ: %+v vs %+v", pts[0], pts[1])
+	}
+}
+
+func TestSweepFracOneKillsEveryCable(t *testing.T) {
+	// frac=1 downs every inter-switch cable. Host uplinks never fail, so
+	// the only survivors are same-switch pairs at exactly
+	// host->switch->host = 2 hops; everything else is unreachable.
+	set := topo.ScaledJellyfish(16, 1, 100, 3)
+	pts := HopCountSweep(set.SerialLow, Config{
+		Fractions: []float64{1},
+		Pairs:     500,
+		Trials:    2,
+		Seed:      5,
+	})
+	pt := pts[0]
+	// 4 hosts per switch: ~5% of random ordered pairs share a switch.
+	if pt.Unreachable < 0.8 || pt.Unreachable >= 1 {
+		t.Errorf("unreachable = %v, want most pairs cut off but same-switch pairs alive", pt.Unreachable)
+	}
+	if pt.AvgHops != 2 {
+		t.Errorf("avg hops over survivors = %v, want exactly 2 (host-switch-host)", pt.AvgHops)
+	}
+}
+
 func TestOriginalGraphUntouched(t *testing.T) {
 	set := topo.ScaledJellyfish(16, 1, 100, 3)
 	tp := set.SerialLow

@@ -99,8 +99,20 @@ func (g *Graph) NumNodes() int { return len(g.transit) }
 // NumLinks returns the number of directed links, including down links.
 func (g *Graph) NumLinks() int { return len(g.links) }
 
+// checkLink validates a link ID before indexing, so a bad ID (typically
+// from a hand-written chaos schedule) fails with a message naming the
+// culprit instead of a bare slice-bounds panic.
+func (g *Graph) checkLink(id LinkID) {
+	if id < 0 || int(id) >= len(g.links) {
+		panic(fmt.Sprintf("graph: link %d out of range [0,%d)", id, len(g.links)))
+	}
+}
+
 // Link returns the link with the given ID.
-func (g *Graph) Link(id LinkID) Link { return g.links[id] }
+func (g *Graph) Link(id LinkID) Link {
+	g.checkLink(id)
+	return g.links[id]
+}
 
 // OutLinks returns the IDs of links leaving node n, including down links.
 func (g *Graph) OutLinks(n NodeID) []LinkID { return g.out[n] }
@@ -115,7 +127,10 @@ func (g *Graph) Transit(n NodeID) bool { return g.transit[n] }
 func (g *Graph) SetTransit(n NodeID, transit bool) { g.transit[n] = transit }
 
 // SetLinkUp sets the administrative state of a link.
-func (g *Graph) SetLinkUp(id LinkID, up bool) { g.links[id].Up = up }
+func (g *Graph) SetLinkUp(id LinkID, up bool) {
+	g.checkLink(id)
+	g.links[id].Up = up
+}
 
 // SetCapacity overwrites the capacity of a link. Used to derive "serial
 // high-bandwidth" networks from their low-bandwidth twins.

@@ -374,3 +374,30 @@ func TestPathPlane(t *testing.T) {
 		t.Error("empty path plane != -1")
 	}
 }
+
+func TestLinkIDBoundsChecked(t *testing.T) {
+	g := line(2) // links 0 and 1
+	for _, id := range []LinkID{-1, 2, 99} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("Link(%d) did not panic", id)
+					return
+				}
+				if s, ok := r.(string); !ok || s == "" {
+					t.Errorf("Link(%d) panic = %v, want descriptive string", id, r)
+				}
+			}()
+			g.Link(id)
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetLinkUp(%d) did not panic", id)
+				}
+			}()
+			g.SetLinkUp(id, false)
+		}()
+	}
+}

@@ -31,10 +31,11 @@ type Collector struct {
 	// consumer aggregates on the fly.
 	DropSamples bool
 
-	// Flows and Solver accumulate records in memory for programmatic use
-	// (the JSONL streams carry the same data).
+	// Flows, Solver, and Faults accumulate records in memory for
+	// programmatic use (the JSONL streams carry the same data).
 	Flows  []FlowRecord
 	Solver []SolverRecord
+	Faults []FaultRecord
 
 	mw       *MetricsWriter
 	tw       *bufio.Writer // shared by every network's JSONLSink
@@ -157,6 +158,41 @@ func (c *Collector) RecordSolver(r SolverRecord) {
 	c.Reg.Counter("solver.iterations").Add(r.Iterations)
 	if r.WallSec > 0 {
 		c.Reg.Histogram("solver.wall_s").Observe(r.WallSec)
+	}
+	if c.mw != nil {
+		c.mw.write(r)
+	}
+}
+
+// RecordFault accepts one fault lifecycle event (injection, clearance,
+// detection, failover, recovery).
+func (c *Collector) RecordFault(r FaultRecord) {
+	if c == nil {
+		return
+	}
+	r.Type = KindFault
+	c.Faults = append(c.Faults, r)
+	switch r.Event {
+	case "inject":
+		c.Reg.Counter("faults.injected").Inc()
+	case "clear":
+		c.Reg.Counter("faults.cleared").Inc()
+	case "detect":
+		c.Reg.Counter("faults.detected").Inc()
+		if r.LatencySec > 0 {
+			c.Reg.Histogram("fault.detect_latency_s").Observe(r.LatencySec)
+		}
+	case "failover":
+		if r.LatencySec > 0 {
+			c.Reg.Histogram("fault.failover_latency_s").Observe(r.LatencySec)
+		}
+	case "recover":
+		if r.LatencySec > 0 {
+			c.Reg.Histogram("fault.recovery_s").Observe(r.LatencySec)
+		}
+		if r.DipFrac > 0 {
+			c.Reg.Histogram("fault.dip_frac").Observe(r.DipFrac)
+		}
 	}
 	if c.mw != nil {
 		c.mw.write(r)

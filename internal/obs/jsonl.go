@@ -15,7 +15,7 @@ import (
 //
 //	{"type":"pkt","ev":"enqueue","t_ps":1280,"link":3,"plane":0,"flow":7,"seq":41,"size":1500}
 //
-// "ev" is one of enqueue | drop | trim | deliver; "t_ps" is the sim
+// "ev" is one of enqueue | drop | trim | deliver | blackhole; "t_ps" is the sim
 // timestamp in picoseconds; "trimmed":true is added for packets whose
 // payload was already cut to a header. Lines are hand-built into a
 // reused buffer so tracing costs no per-event allocations beyond the
@@ -125,6 +125,7 @@ func (s LinkSample) Record(net int) LinkRecord {
 	return LinkRecord{
 		Type: KindLink, Net: net, TPs: int64(s.T), Link: int64(s.Link), Plane: s.Plane,
 		QueueBytes: s.QueueBytes, Util: s.Util, TxBytes: s.TxBytes, Drops: s.Drops,
+		Blackholed: s.Blackholed,
 	}
 }
 

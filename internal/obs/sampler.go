@@ -16,9 +16,10 @@ type LinkSample struct {
 	QueueBytes int32
 	// Util is the link's utilization over the sampling interval (busy
 	// transmission time divided by elapsed sim time since the last tick).
-	Util    float64
-	TxBytes int64 // cumulative
-	Drops   int64 // cumulative
+	Util       float64
+	TxBytes    int64 // cumulative
+	Drops      int64 // cumulative
+	Blackholed int64 // cumulative, packets lost to a down link
 }
 
 // PlaneSample is one dataplane's cumulative transmitted bytes at one
@@ -83,6 +84,7 @@ type Sampler struct {
 	stopped    bool
 	prevTx     []int64
 	prevDrops  []int64
+	prevBH     []int64
 	prevBusy   []sim.Time
 	prevFired  uint64
 	prevWall   time.Time
@@ -103,6 +105,7 @@ func NewSampler(eng *sim.Engine, net *sim.Network, interval sim.Time) *Sampler {
 		interval:  interval,
 		prevTx:    make([]int64, n),
 		prevDrops: make([]int64, n),
+		prevBH:    make([]int64, n),
 		prevBusy:  make([]sim.Time, n),
 		planeOf:   make([]int32, n),
 	}
@@ -164,7 +167,7 @@ func (s *Sampler) tick() {
 		st := s.Net.Stats(id)
 		planeBytes[s.planeOf[i]] += st.TxBytes
 		depth := s.Net.QueueDepth(id)
-		active := depth > 0 || st.TxBytes != s.prevTx[i] || st.Drops != s.prevDrops[i]
+		active := depth > 0 || st.TxBytes != s.prevTx[i] || st.Drops != s.prevDrops[i] || st.Blackholed != s.prevBH[i]
 		if active {
 			util := 0.0
 			if intervalSec > 0 {
@@ -178,6 +181,7 @@ func (s *Sampler) tick() {
 				Util:       util,
 				TxBytes:    st.TxBytes,
 				Drops:      st.Drops,
+				Blackholed: st.Blackholed,
 			}
 			if s.retain {
 				s.Links = append(s.Links, ls)
@@ -191,6 +195,7 @@ func (s *Sampler) tick() {
 		}
 		s.prevTx[i] = st.TxBytes
 		s.prevDrops[i] = st.Drops
+		s.prevBH[i] = st.Blackholed
 		s.prevBusy[i] = st.Busy
 	}
 

@@ -18,6 +18,7 @@ const (
 	KindSolver = "solver"
 	KindMetric = "metric"
 	KindPacket = "pkt"
+	KindFault  = "fault"
 )
 
 // LinkRecord is one active link's state at one sampling instant. Util is
@@ -33,6 +34,7 @@ type LinkRecord struct {
 	Util       float64 `json:"util"`
 	TxBytes    int64   `json:"tx_bytes"`
 	Drops      int64   `json:"drops"`
+	Blackholed int64   `json:"blackholed,omitempty"`
 }
 
 // PlaneRecord is one dataplane's cumulative transmitted bytes at one
@@ -104,13 +106,35 @@ type MetricSnapshot struct {
 	Max   float64 `json:"max,omitempty"`
 }
 
+// FaultRecord is one runtime-fault lifecycle event: "inject" and "clear"
+// come from the chaos injector (physical truth), "detect", "failover",
+// and "recover" from the measuring side (health monitor, transport,
+// experiment harness). The Latency/Dip fields are filled only by the
+// events that define them: detect latency on "detect", failover latency
+// on "failover", recovery time and goodput-dip depth on "recover".
+type FaultRecord struct {
+	Type   string `json:"type"` // "fault"
+	Net    int    `json:"net"`
+	TPs    int64  `json:"t_ps"`
+	Event  string `json:"event"`  // inject | clear | detect | failover | recover
+	Target string `json:"target"` // e.g. "link:12", "switch:3", "plane:1"
+	Plane  int32  `json:"plane"`  // affected plane, -1 if not plane-specific
+	// LatencySec is the elapsed sim time the event measures: inject→detect
+	// for "detect", detect→failover for "failover", inject→recovery for
+	// "recover".
+	LatencySec float64 `json:"latency_s,omitempty"`
+	// DipFrac is the goodput dip depth in [0,1] (1 = total stall),
+	// reported on "recover".
+	DipFrac float64 `json:"dip_frac,omitempty"`
+}
+
 // PacketRecord is one packet lifecycle event of the trace stream. The
 // hot-path writer (JSONLSink) hand-builds these lines without going
 // through encoding/json; TestTraceLineMatchesPacketRecord pins the two
 // representations together.
 type PacketRecord struct {
 	Type    string `json:"type"` // "pkt"
-	Ev      string `json:"ev"`   // enqueue | drop | trim | deliver
+	Ev      string `json:"ev"`   // enqueue | drop | trim | deliver | blackhole
 	TPs     int64  `json:"t_ps"`
 	Link    int64  `json:"link"`
 	Plane   int32  `json:"plane"`

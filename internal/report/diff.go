@@ -133,6 +133,28 @@ func Diff(base, cur RunSummary, t Thresholds) DiffReport {
 	add("engine.wall_s", base.Engine.WallSec, cur.Engine.WallSec, higherWorse, t.GateWall)
 	add("engine.events_per_sec", base.Engine.EventsPerSec, cur.Engine.EventsPerSec, lowerWorse, t.GateWall)
 
+	// Fault metrics compare only when both runs exercised faults — a
+	// fault-free baseline says nothing about failover latency, and the
+	// base==0 "appeared from nowhere" rule would fail every first chaos
+	// run against an old baseline.
+	if base.Faults != nil && cur.Faults != nil {
+		bf, cf := base.Faults, cur.Faults
+		add("faults.blackholed", float64(bf.Blackholed), float64(cf.Blackholed), higherWorse, false)
+		if bf.DetectLatency.Count > 0 && cf.DetectLatency.Count > 0 {
+			add("faults.detect_latency_s.p50", bf.DetectLatency.P50, cf.DetectLatency.P50, higherWorse, true)
+			add("faults.detect_latency_s.max", bf.DetectLatency.Max, cf.DetectLatency.Max, higherWorse, true)
+		}
+		if bf.FailoverLatency.Count > 0 && cf.FailoverLatency.Count > 0 {
+			add("faults.failover_latency_s.p50", bf.FailoverLatency.P50, cf.FailoverLatency.P50, higherWorse, true)
+		}
+		if bf.Recovery.Count > 0 && cf.Recovery.Count > 0 {
+			add("faults.recovery_s.p50", bf.Recovery.P50, cf.Recovery.P50, higherWorse, true)
+		}
+		if bf.DipFrac.Count > 0 && cf.DipFrac.Count > 0 {
+			add("faults.dip_frac.mean", bf.DipFrac.Mean, cf.DipFrac.Mean, higherWorse, false)
+		}
+	}
+
 	// Go benchmarks, matched by name; wall-clock, so gated only with
 	// GateWall. Allocations are deterministic and always gated.
 	curBench := map[string]GoBench{}

@@ -28,6 +28,7 @@ type Stream struct {
 	Solvers []obs.SolverRecord
 	Metrics []obs.MetricSnapshot
 	Packets []obs.PacketRecord
+	Faults  []obs.FaultRecord
 	// Lines counts successfully decoded records.
 	Lines int
 }
@@ -162,6 +163,12 @@ func (s *Stream) decodeLine(b []byte) error {
 			return err
 		}
 		s.Packets = append(s.Packets, r)
+	case obs.KindFault:
+		var r obs.FaultRecord
+		if err := json.Unmarshal(b, &r); err != nil {
+			return err
+		}
+		s.Faults = append(s.Faults, r)
 	default:
 		return &UnknownKindError{Kind: h.Type}
 	}

@@ -327,6 +327,128 @@ func TestLoadRunJSONLAndTruncation(t *testing.T) {
 	}
 }
 
+func faultySummary() RunSummary {
+	a := newAgg()
+	a.addFlow(obs.FlowRecord{Bytes: 1000, FCT: 0.01})
+	a.addFault(obs.FaultRecord{Event: "inject", Target: "plane:0", Plane: 0, TPs: 1e9})
+	a.addFault(obs.FaultRecord{Event: "detect", Target: "plane:0", Plane: 0, TPs: 2e9, LatencySec: 3e-4})
+	a.addFault(obs.FaultRecord{Event: "failover", Target: "plane:0", Plane: 0, TPs: 3e9, LatencySec: 2e-2})
+	a.addFault(obs.FaultRecord{Event: "recover", Target: "plane:0", Plane: 0, TPs: 5e9, LatencySec: 4e-2, DipFrac: 0.8})
+	a.addFault(obs.FaultRecord{Event: "clear", Target: "plane:0", Plane: 0, TPs: 9e9})
+	// Cumulative blackhole counters per (net, link): last value wins.
+	a.addLink(obs.LinkRecord{Net: 0, TPs: 2e9, Link: 3, Blackholed: 10})
+	a.addLink(obs.LinkRecord{Net: 0, TPs: 3e9, Link: 3, Blackholed: 25})
+	a.addLink(obs.LinkRecord{Net: 0, TPs: 3e9, Link: 4, Blackholed: 5})
+	return a.summary(Meta{Exp: "faults", Scale: "small", Seed: 1, Created: "2026-08-05T00:00:00Z"})
+}
+
+func TestFaultSummaryAggregation(t *testing.T) {
+	// A fault-free run carries no Faults block at all — older baselines
+	// stay byte-compatible.
+	if s := sampleSummary(); s.Faults != nil {
+		t.Fatalf("fault-free summary has Faults = %+v", s.Faults)
+	}
+
+	s := faultySummary()
+	f := s.Faults
+	if f == nil {
+		t.Fatal("faulty run has no Faults block")
+	}
+	if f.Injected != 1 || f.Cleared != 1 || f.Detected != 1 {
+		t.Errorf("counts = %+v", f)
+	}
+	if f.Blackholed != 30 {
+		t.Errorf("blackholed = %d, want 25+5", f.Blackholed)
+	}
+	if f.DetectLatency.Count != 1 || f.DetectLatency.Max != 3e-4 {
+		t.Errorf("detect latency = %+v", f.DetectLatency)
+	}
+	if f.FailoverLatency.P50 != 2e-2 || f.Recovery.P50 != 4e-2 {
+		t.Errorf("failover = %+v recovery = %+v", f.FailoverLatency, f.Recovery)
+	}
+	if f.DipFrac.Mean != 0.8 {
+		t.Errorf("dip = %+v", f.DipFrac)
+	}
+	out := s.String()
+	for _, want := range []string{"faults:", "1 injected", "30 blackholed", "detect p50="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFaultRecordsRoundTripThroughJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	c := obs.NewCollector()
+	c.StreamMetrics(&buf)
+	c.RecordFault(obs.FaultRecord{Net: 0, TPs: 1e9, Event: "inject", Target: "link:7", Plane: 1})
+	c.RecordFault(obs.FaultRecord{Net: 0, TPs: 2e9, Event: "detect", Target: "plane:1", Plane: 1, LatencySec: 5e-4})
+	m := Meta{Exp: "t"}
+	fromMem := FromCollector(c, m)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := ReadStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Faults) != 2 || st.Faults[0].Target != "link:7" || st.Faults[1].LatencySec != 5e-4 {
+		t.Fatalf("decoded faults = %+v", st.Faults)
+	}
+	fromJSONL := FromStream(st, m)
+	if fromMem.Faults == nil || fromJSONL.Faults == nil {
+		t.Fatalf("faults block missing: mem %+v jsonl %+v", fromMem.Faults, fromJSONL.Faults)
+	}
+	if *fromMem.Faults != *fromJSONL.Faults {
+		t.Errorf("fault summary mismatch: mem %+v jsonl %+v", *fromMem.Faults, *fromJSONL.Faults)
+	}
+}
+
+func TestDiffFaultMetrics(t *testing.T) {
+	base := faultySummary()
+
+	// Fault metrics only compare when both runs have them: a faulty run
+	// against a fault-free baseline must not trip the gate.
+	clean := sampleSummary()
+	d := Diff(clean, base, Thresholds{Rel: 10}) // huge slack for unrelated metrics
+	for _, dl := range d.Deltas {
+		if strings.HasPrefix(dl.Metric, "faults.") {
+			t.Errorf("fault metric %q compared against a fault-free baseline", dl.Metric)
+		}
+	}
+
+	// Identical faulty runs pass.
+	if d := Diff(base, base, Thresholds{}); !d.Pass {
+		t.Fatalf("self-diff failed:\n%s", d)
+	}
+
+	// A 50% slower detection fails the gate.
+	worse := faultySummary()
+	worse.Faults.DetectLatency.P50 *= 1.5
+	worse.Faults.DetectLatency.Max *= 1.5
+	d = Diff(base, worse, Thresholds{})
+	if d.Pass {
+		t.Fatalf("slower detection passed:\n%s", d)
+	}
+	found := false
+	for _, r := range d.Regressions() {
+		if r.Metric == "faults.detect_latency_s.p50" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("regressions = %+v, want faults.detect_latency_s.p50", d.Regressions())
+	}
+
+	// Blackhole counts ride along informationally — they scale with the
+	// injected fault load, not with code quality.
+	noisier := faultySummary()
+	noisier.Faults.Blackholed *= 100
+	if d := Diff(base, noisier, Thresholds{}); !d.Pass {
+		t.Errorf("blackhole count gated:\n%s", d)
+	}
+}
+
 func TestParseGoBench(t *testing.T) {
 	in := `goos: linux
 goarch: amd64

@@ -52,6 +52,24 @@ type EngineSummary struct {
 	SimSec       float64 `json:"sim_s"` // latest sim timestamp sampled
 }
 
+// FaultSummary aggregates a run's runtime-fault lifecycle: what the
+// chaos injector did, what the hosts measured while surviving it. All
+// latency distributions are in seconds of sim time.
+type FaultSummary struct {
+	Injected   int64 `json:"injected"`
+	Cleared    int64 `json:"cleared"`
+	Detected   int64 `json:"detected"`
+	Blackholed int64 `json:"blackholed"` // packets lost to down links
+	// DetectLatency is injection→detection (the health monitor's lag);
+	// FailoverLatency is detection→first repath; Recovery is
+	// injection→goodput back at pre-fault level; DipFrac is the goodput
+	// dip depth in [0,1].
+	DetectLatency   Dist `json:"detect_latency_s"`
+	FailoverLatency Dist `json:"failover_latency_s"`
+	Recovery        Dist `json:"recovery_s"`
+	DipFrac         Dist `json:"dip_frac"`
+}
+
 // GoBench is one `go test -bench` result folded into the trajectory.
 type GoBench struct {
 	Name        string             `json:"name"`
@@ -90,6 +108,11 @@ type RunSummary struct {
 	Solver SolverSummary `json:"solver"`
 	Engine EngineSummary `json:"engine"`
 
+	// Faults is present only for runs with fault activity (chaos
+	// injection or blackholed packets) — absent for the fault-free runs
+	// of older baselines, which keeps the schema backward compatible.
+	Faults *FaultSummary `json:"faults,omitempty"`
+
 	GoBench []GoBench `json:"go_bench,omitempty"`
 }
 
@@ -112,18 +135,48 @@ type agg struct {
 	// drops and tx samples are cumulative per (net, link)/(net, plane);
 	// keep the last value per key and sum at the end.
 	linkDrops  map[[2]int64]int64
+	linkBH     map[[2]int64]int64
 	planeBytes map[[2]int64]int64
 	engines    int
 	events     uint64
 	wallNs     int64
 	simPs      int64
 	solver     SolverSummary
+
+	faultInjected, faultCleared, faultDetected int64
+	detectLat, failoverLat, recovery, dipFrac  []float64
 }
 
 func newAgg() *agg {
 	return &agg{
 		linkDrops:  map[[2]int64]int64{},
+		linkBH:     map[[2]int64]int64{},
 		planeBytes: map[[2]int64]int64{},
+	}
+}
+
+func (a *agg) addFault(r obs.FaultRecord) {
+	switch r.Event {
+	case "inject":
+		a.faultInjected++
+	case "clear":
+		a.faultCleared++
+	case "detect":
+		a.faultDetected++
+		if r.LatencySec > 0 {
+			a.detectLat = append(a.detectLat, r.LatencySec)
+		}
+	case "failover":
+		if r.LatencySec > 0 {
+			a.failoverLat = append(a.failoverLat, r.LatencySec)
+		}
+	case "recover":
+		if r.LatencySec > 0 {
+			a.recovery = append(a.recovery, r.LatencySec)
+		}
+		if r.DipFrac > 0 {
+			a.dipFrac = append(a.dipFrac, r.DipFrac)
+		}
 	}
 }
 
@@ -145,6 +198,9 @@ func (a *agg) addLink(r obs.LinkRecord) {
 	a.util.Observe(r.Util)
 	a.queue.Observe(float64(r.QueueBytes))
 	a.linkDrops[[2]int64{int64(r.Net), r.Link}] = r.Drops
+	if r.Blackholed > 0 {
+		a.linkBH[[2]int64{int64(r.Net), r.Link}] = r.Blackholed
+	}
 	if r.TPs > a.simPs {
 		a.simPs = r.TPs
 	}
@@ -183,6 +239,23 @@ func (a *agg) summary(m Meta) RunSummary {
 
 	for _, d := range a.linkDrops {
 		s.Drops += d
+	}
+
+	var blackholed int64
+	for _, b := range a.linkBH {
+		blackholed += b
+	}
+	if a.faultInjected > 0 || a.faultDetected > 0 || blackholed > 0 {
+		s.Faults = &FaultSummary{
+			Injected:        a.faultInjected,
+			Cleared:         a.faultCleared,
+			Detected:        a.faultDetected,
+			Blackholed:      blackholed,
+			DetectLatency:   distFromSamples(a.detectLat),
+			FailoverLatency: distFromSamples(a.failoverLat),
+			Recovery:        distFromSamples(a.recovery),
+			DipFrac:         distFromSamples(a.dipFrac),
+		}
 	}
 
 	// Per-plane byte shares, merged across networks, sorted by plane.
@@ -258,6 +331,9 @@ func (x *Aggregator) Summarize(c *obs.Collector, m Meta) RunSummary {
 	for _, r := range c.Solver {
 		x.a.addSolver(r)
 	}
+	for _, r := range c.Faults {
+		x.a.addFault(r)
+	}
 	x.a.engines = len(c.Samplers())
 	return x.a.summary(m)
 }
@@ -273,6 +349,9 @@ func FromCollector(c *obs.Collector, m Meta) RunSummary {
 	}
 	for _, r := range c.Solver {
 		a.addSolver(r)
+	}
+	for _, r := range c.Faults {
+		a.addFault(r)
 	}
 	for _, sm := range c.Samplers() {
 		a.engines++
@@ -297,6 +376,9 @@ func FromStream(st *Stream, m Meta) RunSummary {
 	}
 	for _, r := range st.Solvers {
 		a.addSolver(r)
+	}
+	for _, r := range st.Faults {
+		a.addFault(r)
 	}
 	nets := map[int]bool{}
 	for _, r := range st.Links {
@@ -382,6 +464,20 @@ func (s RunSummary) String() string {
 	if s.Engine.Events > 0 {
 		fmt.Fprintf(&b, "engine: %d events in %.3fs wall (%.3g events/s) across %d networks\n",
 			s.Engine.Events, s.Engine.WallSec, s.Engine.EventsPerSec, s.Engine.Networks)
+	}
+	if f := s.Faults; f != nil {
+		fmt.Fprintf(&b, "faults: %d injected, %d cleared, %d detected; %d blackholed",
+			f.Injected, f.Cleared, f.Detected, f.Blackholed)
+		if f.DetectLatency.Count > 0 {
+			fmt.Fprintf(&b, "; detect p50=%s max=%s", secs(f.DetectLatency.P50), secs(f.DetectLatency.Max))
+		}
+		if f.FailoverLatency.Count > 0 {
+			fmt.Fprintf(&b, "; failover p50=%s", secs(f.FailoverLatency.P50))
+		}
+		if f.Recovery.Count > 0 {
+			fmt.Fprintf(&b, "; recovery p50=%s", secs(f.Recovery.P50))
+		}
+		b.WriteByte('\n')
 	}
 	for _, g := range s.GoBench {
 		fmt.Fprintf(&b, "gobench: %s %.4g ns/op", g.Name, g.NsPerOp)

@@ -90,10 +90,11 @@ type TraceEvent int
 
 // Trace event kinds.
 const (
-	TraceEnqueue TraceEvent = iota // packet accepted by a queue
-	TraceDrop                      // packet lost to a full queue
-	TraceTrim                      // packet payload trimmed (NDP)
-	TraceDeliver                   // packet handed to its Deliver handler
+	TraceEnqueue   TraceEvent = iota // packet accepted by a queue
+	TraceDrop                        // packet lost to a full queue
+	TraceTrim                        // packet payload trimmed (NDP)
+	TraceDeliver                     // packet handed to its Deliver handler
+	TraceBlackhole                   // packet lost to a down link (runtime fault)
 )
 
 // String names the event kind for logs and traces.
@@ -107,6 +108,8 @@ func (e TraceEvent) String() string {
 		return "trim"
 	case TraceDeliver:
 		return "deliver"
+	case TraceBlackhole:
+		return "blackhole"
 	}
 	return "unknown"
 }
@@ -127,6 +130,10 @@ type Network struct {
 
 	// Drops counts packets lost to full queues, by link.
 	Drops []int64
+	// Blackholed counts packets lost to administratively-down links, by
+	// link — the signature of a runtime fault, kept separate from
+	// congestion drops so fault experiments can tell the two apart.
+	Blackholed []int64
 
 	// Tracer, when set, observes every packet event.
 	Tracer Tracer
@@ -136,10 +143,11 @@ type Network struct {
 // capacities (Gb/s).
 func NewNetwork(eng *Engine, g *graph.Graph, cfg Config) *Network {
 	n := &Network{
-		Eng:    eng,
-		G:      g,
-		queues: make([]queue, g.NumLinks()),
-		Drops:  make([]int64, g.NumLinks()),
+		Eng:        eng,
+		G:          g,
+		queues:     make([]queue, g.NumLinks()),
+		Drops:      make([]int64, g.NumLinks()),
+		Blackholed: make([]int64, g.NumLinks()),
 	}
 	for i := range n.queues {
 		l := g.Link(graph.LinkID(i))
@@ -168,6 +176,8 @@ type LinkStats struct {
 	Drops     int64
 	Marks     int64 // ECN CE marks applied
 	Trims     int64 // NDP payload trims applied
+	// Blackholed counts packets lost because the link was down.
+	Blackholed int64
 	// Busy is cumulative transmission time; Busy/elapsed is utilization.
 	Busy Time
 }
@@ -176,13 +186,71 @@ type LinkStats struct {
 func (n *Network) Stats(id graph.LinkID) LinkStats {
 	q := &n.queues[id]
 	return LinkStats{
-		TxPackets: q.txPkts,
-		TxBytes:   q.txBytes,
-		Drops:     n.Drops[id],
-		Marks:     q.marks,
-		Trims:     q.trims,
-		Busy:      q.busyTime,
+		TxPackets:  q.txPkts,
+		TxBytes:    q.txBytes,
+		Drops:      n.Drops[id],
+		Marks:      q.marks,
+		Trims:      q.trims,
+		Blackholed: n.Blackholed[id],
+		Busy:       q.busyTime,
 	}
+}
+
+// SetLinkUp changes a link's runtime state. Taking a link down blackholes
+// its queued packets (except one already mid-transmission, which dies
+// when its last bit would have left) and every later arrival until the
+// link comes back up. Packets already propagating toward the far node
+// are considered past the cut and still arrive — the fault takes effect
+// at the queue, as a failed transceiver or cut cable would.
+//
+// This is the dataplane's physical truth; it is deliberately separate
+// from graph.Link.Up, the end host's administrative view, so that hosts
+// must *detect* faults (core.HealthMonitor) rather than observe them by
+// oracle.
+func (n *Network) SetLinkUp(id graph.LinkID, up bool) {
+	q := &n.queues[id]
+	if q.down == !up {
+		return
+	}
+	q.down = !up
+	if up {
+		return
+	}
+	// Blackhole everything queued behind the packet in transmission; the
+	// head (if any) is reaped by act() when its transmission completes.
+	keep := 0
+	if q.busy {
+		keep = 1
+	}
+	for _, p := range q.buf[keep:] {
+		q.bytes -= p.Size
+		n.blackhole(p, id)
+	}
+	for i := keep; i < len(q.buf); i++ {
+		q.buf[i] = nil
+	}
+	q.buf = q.buf[:keep]
+}
+
+// LinkUp reports a link's runtime state.
+func (n *Network) LinkUp(id graph.LinkID) bool { return !n.queues[id].down }
+
+// TotalBlackholed sums blackholed packets over all links.
+func (n *Network) TotalBlackholed() int64 {
+	var total int64
+	for _, b := range n.Blackholed {
+		total += b
+	}
+	return total
+}
+
+// blackhole counts and releases a packet lost to a down link.
+func (n *Network) blackhole(p *Packet, id graph.LinkID) {
+	n.Blackholed[id]++
+	if n.Tracer != nil {
+		n.Tracer.PacketEvent(TraceBlackhole, p, id)
+	}
+	n.Release(p)
 }
 
 // Utilization returns a link's lifetime utilization in [0,1] at the
@@ -272,6 +340,7 @@ type queue struct {
 	buf   []*Packet // FIFO; buf[0] is in transmission when busy
 	bytes int32
 	busy  bool
+	down  bool // runtime fault state; a down queue blackholes packets
 
 	txPkts, txBytes int64
 	marks           int64
@@ -284,6 +353,10 @@ func (q *queue) txTime(size int32) Time {
 }
 
 func (q *queue) enqueue(p *Packet) {
+	if q.down {
+		q.net.blackhole(p, q.id)
+		return
+	}
 	// With trimming enabled, headers and control packets (Size <=
 	// trimTo) may use a reserved headroom of 64 headers beyond the data
 	// budget — modelling NDP's separate high-priority header queue.
@@ -337,6 +410,18 @@ func (q *queue) startTx() {
 // is scheduled to arrive after the propagation delay and the next packet
 // (if any) begins transmission.
 func (q *queue) act() {
+	if q.down {
+		// The head's last bit "left" into a dead link; it (and anything
+		// else still buffered) is lost.
+		for i, p := range q.buf {
+			q.net.blackhole(p, q.id)
+			q.buf[i] = nil
+		}
+		q.buf = q.buf[:0]
+		q.bytes = 0
+		q.busy = false
+		return
+	}
 	p := q.buf[0]
 	copy(q.buf, q.buf[1:])
 	q.buf[len(q.buf)-1] = nil

@@ -1,0 +1,98 @@
+package tcp
+
+import (
+	"testing"
+
+	"pnet/internal/graph"
+	"pnet/internal/sim"
+)
+
+// cutPath takes every link of a path (and its reverse) physically down.
+func cutPath(net *sim.Network, p graph.Path, up bool) {
+	for _, id := range p.Links {
+		net.SetLinkUp(id, up)
+		if rid, ok := net.G.ReverseLink(id); ok {
+			net.SetLinkUp(rid, up)
+		}
+	}
+}
+
+func TestRepathMovesStalledSubflow(t *testing.T) {
+	eng, net, paths := twoPlane(100)
+	cfg := Config{StallRTOs: 2}
+	f, err := NewFlow(net, cfg, paths[:1], 3000*1500) // single-path flow on plane 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	var moved []graph.Path
+	f.Repath = func(fl *Flow, i int) (graph.Path, bool) { return paths[1], true }
+	f.OnRepath = func(fl *Flow, i int, to graph.Path) { moved = append(moved, to) }
+
+	// Kill plane 0 mid-transfer (3000 packets ≈ 360 µs of wire time);
+	// the flow must finish on plane 1.
+	eng.At(50*sim.Microsecond, func() { cutPath(net, paths[0], false) })
+	runFlow(t, eng, f)
+
+	if f.Repaths != 1 {
+		t.Errorf("Repaths = %d, want 1", f.Repaths)
+	}
+	if len(moved) != 1 || !moved[0].Equal(paths[1]) {
+		t.Errorf("OnRepath saw %v, want the plane-1 path", moved)
+	}
+	if got := f.SubflowPath(0); !got.Equal(paths[1]) {
+		t.Errorf("subflow path = %v after repath", got)
+	}
+	if net.TotalBlackholed() == 0 {
+		t.Error("no packets blackholed by the cut")
+	}
+	// Two stall timeouts before the swap: 10ms + 20ms (backed off) ≈ 31ms.
+	if fct := f.FCT(); fct < 30*sim.Millisecond || fct > 100*sim.Millisecond {
+		t.Errorf("FCT = %v, want ~31ms (stall + recovery)", fct)
+	}
+}
+
+func TestRepathRejectsSamePath(t *testing.T) {
+	eng, net, paths := twoPlane(100)
+	cfg := Config{StallRTOs: 1}
+	f, err := NewFlow(net, cfg, paths[:1], 1000*1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := 0
+	f.Repath = func(fl *Flow, i int) (graph.Path, bool) {
+		queries++
+		return paths[0], true // no alternative — a serial network's answer
+	}
+	eng.At(50*sim.Microsecond, func() { cutPath(net, paths[0], false) })
+	eng.At(500*sim.Millisecond, func() { cutPath(net, paths[0], true) })
+	f.Start()
+	eng.RunUntil(5 * sim.Second)
+
+	if !f.Done() {
+		t.Fatal("flow did not finish after the fault cleared")
+	}
+	if f.Repaths != 0 {
+		t.Errorf("Repaths = %d on a same-path answer", f.Repaths)
+	}
+	if queries == 0 {
+		t.Error("Repath hook never consulted")
+	}
+}
+
+func TestRepathDisabledByDefault(t *testing.T) {
+	eng, net, paths := twoPlane(100)
+	f, err := NewFlow(net, Config{}, paths[:1], 1000*1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Repath = func(fl *Flow, i int) (graph.Path, bool) {
+		t.Error("Repath consulted with StallRTOs = 0")
+		return graph.Path{}, false
+	}
+	eng.At(50*sim.Microsecond, func() { cutPath(net, paths[0], false) })
+	f.Start()
+	eng.RunUntil(200 * sim.Millisecond)
+	if f.Done() {
+		t.Error("flow finished across a dead link without repathing")
+	}
+}

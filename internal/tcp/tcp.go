@@ -51,6 +51,11 @@ type Config struct {
 	DCTCP bool
 	// DCTCPGain is the EWMA gain g for the marking estimate (default 1/16).
 	DCTCPGain float64
+	// StallRTOs, when positive, treats that many consecutive timeouts on
+	// one subflow as a stalled path and consults Flow.Repath for a
+	// replacement — MPTCP's re-establishment of subflows on surviving
+	// planes after a runtime fault. Zero disables repathing.
+	StallRTOs int
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +109,18 @@ type Flow struct {
 
 	// Retransmits counts data packets sent more than once.
 	Retransmits int64
+
+	// Repath, consulted when Config.StallRTOs consecutive timeouts hit
+	// one subflow, may return a replacement path (same endpoints). The
+	// subflow keeps its sequence space and receiver state — only the
+	// route changes, like an MPTCP subflow re-established on a surviving
+	// plane. Returning ok=false, the current path, or a path without a
+	// reverse twin leaves the subflow where it is.
+	Repath func(f *Flow, subflow int) (graph.Path, bool)
+	// OnRepath observes every successful path swap.
+	OnRepath func(f *Flow, subflow int, to graph.Path)
+	// Repaths counts successful subflow path swaps.
+	Repaths int64
 }
 
 // NewFlow prepares a transfer of sizeBytes over the given paths (one
@@ -133,6 +150,7 @@ func NewFlow(net *sim.Network, cfg Config, paths []graph.Path, sizeBytes int64) 
 		}
 		sf := &subflow{
 			f:        f,
+			idx:      i,
 			fwd:      p.Links,
 			rev:      rev.Links,
 			cwnd:     cfg.InitCwnd,
@@ -150,6 +168,11 @@ func NewFlow(net *sim.Network, cfg Config, paths []graph.Path, sizeBytes int64) 
 
 // Subflows returns the number of subflows.
 func (f *Flow) Subflows() int { return len(f.subs) }
+
+// SubflowPath returns subflow i's current forward path — after a repath,
+// the replacement, not the path the flow started on. Callers must not
+// mutate the links.
+func (f *Flow) SubflowPath(i int) graph.Path { return graph.Path{Links: f.subs[i].fwd} }
 
 // FCT returns the flow completion time; valid once done.
 func (f *Flow) FCT() sim.Time { return f.Finished - f.Started }
@@ -237,6 +260,7 @@ func (f *Flow) liaAlpha() float64 {
 // subflow carries one path's sender and receiver state.
 type subflow struct {
 	f        *Flow
+	idx      int
 	fwd, rev []graph.LinkID
 
 	// Sender.
@@ -261,6 +285,7 @@ type subflow struct {
 	rtoDeadline sim.Time
 	rtoEv       *sim.Event
 	backoff     uint
+	consecRTOs  int // timeouts since the last ACK progress; repath trigger
 	timing      bool
 	timedSeq    int64
 	timedAt     sim.Time
@@ -363,10 +388,61 @@ func (sf *subflow) onRTO() {
 	sf.dupacks = 0
 	sf.inRecovery = false
 	sf.timing = false
-	if sf.backoff < 6 {
+	sf.consecRTOs++
+	if sf.maybeRepath() {
+		// A fresh path deserves a fresh timeout: keep backing off only
+		// while stuck on the same (possibly dead) route.
+		sf.backoff = 0
+	} else if sf.backoff < 6 {
 		sf.backoff++
 	}
 	sf.trySend()
+}
+
+// maybeRepath asks the flow's Repath hook for a replacement path once
+// the consecutive-timeout budget is spent. The subflow's sequence space
+// and receiver state survive the swap; only the route (and the now
+// meaningless RTT estimate) change.
+func (sf *subflow) maybeRepath() bool {
+	f := sf.f
+	if f.cfg.StallRTOs <= 0 || sf.consecRTOs < f.cfg.StallRTOs || f.Repath == nil {
+		return false
+	}
+	// Spend the budget either way; a fruitless query waits another
+	// StallRTOs timeouts before asking again.
+	sf.consecRTOs = 0
+	path, ok := f.Repath(f, sf.idx)
+	if !ok || len(path.Links) == 0 || samePath(path.Links, sf.fwd) {
+		return false
+	}
+	g := f.net.G
+	if path.Src(g) != g.Link(sf.fwd[0]).Src || path.Dst(g) != g.Link(sf.fwd[len(sf.fwd)-1]).Dst {
+		return false // replacement must connect the same endpoints
+	}
+	rev, ok := graph.ReversePath(g, path)
+	if !ok {
+		return false
+	}
+	sf.fwd = path.Links
+	sf.rev = rev.Links
+	sf.srtt, sf.rttvar = 0, 0
+	f.Repaths++
+	if f.OnRepath != nil {
+		f.OnRepath(f, sf.idx, path)
+	}
+	return true
+}
+
+func samePath(a, b []graph.LinkID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // onData runs at the receiver.
@@ -430,6 +506,7 @@ func (sf *subflow) onAck(p *sim.Packet) {
 			sf.sndNxt = sf.sndUna
 		}
 		sf.backoff = 0
+		sf.consecRTOs = 0
 		if sf.timing && ackSeq > sf.timedSeq {
 			sf.sampleRTT(sf.f.net.Eng.Now() - sf.timedAt)
 			sf.timing = false

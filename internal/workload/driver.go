@@ -68,9 +68,16 @@ type Driver struct {
 	// drives the network's tracer and sampler. Nil costs nothing.
 	Obs *obs.Collector
 
+	// OnRepath, when set, observes every subflow path swap (see Repaths).
+	OnRepath func(f *tcp.Flow, subflow int, to graph.Path)
+
 	hashCtr uint64
 	// Flows counts flows started; Completed counts OnComplete callbacks.
 	Flows, Completed int64
+	// Repaths counts subflow path swaps across all flows — nonzero only
+	// when TCP.StallRTOs enables stall-driven repathing and a fault
+	// actually pushed flows off their original routes.
+	Repaths int64
 }
 
 // NewDriver builds the simulation environment for a topology.
@@ -159,7 +166,33 @@ func (d *Driver) StartFlow(src, dst graph.NodeID, sizeBytes int64, sel Selection
 	if err != nil {
 		return nil, err
 	}
-	return d.StartFlowOnPaths(paths, sizeBytes, onDelivered, onComplete)
+	f, err := d.StartFlowOnPaths(paths, sizeBytes, onDelivered, onComplete)
+	if err != nil {
+		return nil, err
+	}
+	// Stalled subflows re-resolve through the same selection, which by
+	// now reflects what the health monitor has learned — the end-host
+	// failover loop of §3.4. (Setting the hook after Start is safe: it is
+	// only consulted at retransmission timeouts.)
+	f.Repath = d.repathFor(sel)
+	return f, nil
+}
+
+// repathFor builds the stall-repath resolver for a selection: re-run the
+// policy against the current (post-detection) routing state and give
+// subflow i the i-th resulting path. On a serial network, or before the
+// monitor has condemned the broken plane, this naturally returns the
+// same path and the subflow stays put.
+func (d *Driver) repathFor(sel Selection) func(*tcp.Flow, int) (graph.Path, bool) {
+	return func(f *tcp.Flow, i int) (graph.Path, bool) {
+		cur := f.SubflowPath(i)
+		src, dst := cur.Src(d.Net.G), cur.Dst(d.Net.G)
+		paths, err := d.PathsFor(src, dst, sel)
+		if err != nil || len(paths) == 0 {
+			return graph.Path{}, false
+		}
+		return paths[i%len(paths)], true
+	}
 }
 
 // Instrument attaches a telemetry collector: the network's tracer and
@@ -182,6 +215,16 @@ func (d *Driver) StartFlowOnPaths(paths []graph.Path, sizeBytes int64,
 	f.OnDelivered = onDelivered
 	d.Flows++
 	f.ID = d.Flows
+	f.Repath = d.repathFor(Selection{Policy: Shortest})
+	f.OnRepath = func(fl *tcp.Flow, i int, to graph.Path) {
+		d.Repaths++
+		if d.Obs != nil {
+			d.Obs.Reg.Counter("flows.repaths").Inc()
+		}
+		if d.OnRepath != nil {
+			d.OnRepath(fl, i, to)
+		}
+	}
 	f.OnComplete = func(fl *tcp.Flow) {
 		d.Completed++
 		if d.Obs != nil {
