@@ -11,13 +11,16 @@ package pnet
 
 import (
 	"math/rand"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"pnet/internal/exp"
 	"pnet/internal/graph"
 	"pnet/internal/mcf"
+	"pnet/internal/par"
 	"pnet/internal/route"
 	"pnet/internal/sim"
 	"pnet/internal/topo"
@@ -155,7 +158,7 @@ func BenchmarkAblationECMPvsRoundRobin(b *testing.B) {
 		// Round-robin: commodity i uses plane i mod planes, then the
 		// deterministic shortest path within it.
 		rrPaths := make([][]graph.Path, len(cs))
-		masks := planeOnlyMasks(tp)
+		masks := tp.G.PlaneMasks()
 		for j, c := range cs {
 			plane := j % tp.Planes
 			ps := graph.KShortestPathsMasked(tp.G, c.Src, c.Dst, 1, masks[plane])
@@ -165,20 +168,6 @@ func BenchmarkAblationECMPvsRoundRobin(b *testing.B) {
 		ratio = rr / ecmp
 	}
 	b.ReportMetric(ratio, "rr/ecmp")
-}
-
-func planeOnlyMasks(tp *topo.Topology) [][]bool {
-	masks := make([][]bool, tp.Planes)
-	for p := 0; p < tp.Planes; p++ {
-		mask := make([]bool, tp.G.NumLinks())
-		for i := 0; i < tp.G.NumLinks(); i++ {
-			if pl := tp.G.Link(graph.LinkID(i)).Plane; pl >= 0 && pl != int32(p) {
-				mask[i] = true
-			}
-		}
-		masks[p] = mask
-	}
-	return masks
 }
 
 // BenchmarkAblationLowestHopPlane quantifies the heterogeneous P-Net's
@@ -191,7 +180,7 @@ func BenchmarkAblationLowestHopPlane(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		pairs := workload.RandomPairs(tp, 500, rng(3))
 		bestSum, p0Sum := 0.0, 0.0
-		mask := planeOnlyMasks(tp)[0]
+		mask := tp.G.PlaneMasks()[0]
 		for _, pr := range pairs {
 			bp, _ := graph.ShortestPath(tp.G, pr[0], pr[1])
 			bestSum += float64(bp.Len())
@@ -264,6 +253,82 @@ func BenchmarkGKSolverPhase(b *testing.B) {
 	b.ReportMetric(float64(phases)/float64(b.N), "phases")
 	b.ReportMetric(float64(iters)/float64(b.N), "iters")
 	b.ReportMetric(wall*1e9/float64(phases), "ns/phase")
+}
+
+// --- Parallel execution benchmarks ---------------------------------------
+//
+// These measure the multicore sweep layer (internal/par): the same work
+// run serially (-workers equivalent of 1) and at full width, with the
+// serial/parallel wall-clock ratio reported as "speedup-x". The ratio is
+// ~1.0 on a single-core runner and should exceed 2 on 4+ cores; it is a
+// wall-clock quantity, so the perf gate records it without gating it.
+// Neither benchmark calls ReportAllocs: goroutine fan-out makes allocs
+// scheduling-dependent, and allocs_per_op is always gated.
+
+// BenchmarkParallelSweep runs fig8c — self-contained (network, K) sweep
+// cells, the experiment layer's canonical fan-out shape — serially and
+// in parallel. The tables must match; the wall clocks should not.
+func BenchmarkParallelSweep(b *testing.B) {
+	e, ok := exp.ByID("fig8c")
+	if !ok {
+		b.Fatal("fig8c not registered")
+	}
+	run := func(workers int) (exp.Table, time.Duration) {
+		par.SetLimit(workers)
+		defer par.SetLimit(0)
+		start := time.Now()
+		tab := e.Run(exp.Params{Scale: exp.ScaleSmall, Seed: 1, Workers: workers})
+		return tab, time.Since(start)
+	}
+	var serial, wide time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, sd := run(1)
+		wt, wd := run(runtime.NumCPU())
+		serial += sd
+		wide += wd
+		if st.String() != wt.String() {
+			b.Fatal("serial and parallel sweeps disagree")
+		}
+	}
+	b.StopTimer()
+	if wide > 0 {
+		b.ReportMetric(float64(serial)/float64(wide), "speedup-x")
+	}
+}
+
+// BenchmarkParallelKSP runs the per-commodity KSP fan-out (route's
+// hottest path-computation loop, including the per-(src,dst) memo and
+// the cached plane masks) serially and in parallel over a permutation's
+// worth of commodities.
+func BenchmarkParallelKSP(b *testing.B) {
+	set := topo.FatTreeSet(8, 4, 100)
+	tp := set.ParallelHomo
+	cs := workload.PermutationCommodities(tp, 0, rng(7))
+	run := func(workers int) ([][]graph.Path, time.Duration) {
+		par.SetLimit(workers)
+		defer par.SetLimit(0)
+		start := time.Now()
+		paths := route.KSPPaths(tp.G, cs, 16)
+		return paths, time.Since(start)
+	}
+	var serial, wide time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp, sd := run(1)
+		wp, wd := run(runtime.NumCPU())
+		serial += sd
+		wide += wd
+		for j := range sp {
+			if len(sp[j]) != len(wp[j]) {
+				b.Fatal("serial and parallel KSP disagree")
+			}
+		}
+	}
+	b.StopTimer()
+	if wide > 0 {
+		b.ReportMetric(float64(serial)/float64(wide), "speedup-x")
+	}
 }
 
 func rng(seed int64) *rand.Rand {

@@ -24,6 +24,12 @@
 // no JSONL round-trip. -pprof serves net/http/pprof on the given address
 // for live profiling of long runs. See README.md "Telemetry" and
 // "Analyzing runs" for the schemas.
+//
+// Parallelism: -workers N caps how many independent sweep cells run
+// concurrently (0 = one per core, 1 = serial). Every cell owns its own
+// engine and RNG, so tables are byte-identical at any worker count; the
+// run header and footer on stderr record the effective width and total
+// wall time. See DESIGN.md "Parallel execution".
 package main
 
 import (
@@ -34,11 +40,13 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"runtime"
 	"time"
 
 	"pnet/internal/chaos"
 	"pnet/internal/exp"
 	"pnet/internal/obs"
+	"pnet/internal/par"
 	"pnet/internal/report"
 	"pnet/internal/sim"
 )
@@ -57,6 +65,7 @@ func main() {
 		reportF = flag.String("report", "", "write a RunSummary JSON for pnetstat to this file")
 		chaosF  = flag.String("chaos", "", "fault script for fault-aware experiments ('help' prints the syntax)")
 		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		workers = flag.Int("workers", 0, "max concurrent sweep cells (0 = GOMAXPROCS, 1 = serial); results are identical either way")
 	)
 	flag.Parse()
 
@@ -97,7 +106,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	params := exp.Params{Seed: *seed, Chaos: chaosSpec}
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "pnetbench: -workers must be >= 0, got %d\n", *workers)
+		os.Exit(2)
+	}
+	par.SetLimit(*workers)
+
+	params := exp.Params{Seed: *seed, Chaos: chaosSpec, Workers: *workers}
 	switch *scale {
 	case "small":
 		params.Scale = exp.ScaleSmall
@@ -159,13 +174,20 @@ func main() {
 		toRun = []exp.Experiment{e}
 	}
 
+	// Run header: how wide this run may fan out. Cell results are
+	// bit-identical at any width, so the numbers are attribution for the
+	// wall times below, never a caveat on the tables.
+	effWorkers := par.Workers(*workers)
+	fmt.Fprintf(os.Stderr, "pnetbench: exp=%s scale=%s seed=%d workers=%d gomaxprocs=%d\n",
+		*expID, params.Scale, *seed, effWorkers, runtime.GOMAXPROCS(0))
 	if collector != nil {
-		// Run header: the effective sampling cadence, so nobody has to
+		// The effective sampling cadence, so nobody has to
 		// reverse-engineer it from the t_ps deltas in the stream.
-		fmt.Fprintf(os.Stderr, "pnetbench: exp=%s scale=%s seed=%d, telemetry sampling every %v of sim time (doubles every 4096 ticks)\n",
-			*expID, params.Scale, *seed, collector.EffectiveInterval())
+		fmt.Fprintf(os.Stderr, "pnetbench: telemetry sampling every %v of sim time (doubles every 4096 ticks)\n",
+			collector.EffectiveInterval())
 	}
 
+	runStart := time.Now()
 	for _, e := range toRun {
 		start := time.Now()
 		table := e.Run(params)
@@ -189,14 +211,19 @@ func main() {
 		}
 	}
 
+	fmt.Fprintf(os.Stderr, "pnetbench: total wall time %v (workers=%d gomaxprocs=%d)\n",
+		time.Since(runStart).Round(time.Millisecond), effWorkers, runtime.GOMAXPROCS(0))
+
 	if *reportF != "" {
 		// Summarize before Close: the collector's samplers and records
 		// stay valid, and the summary does not depend on the streams.
 		summary := aggr.Summarize(collector, report.Meta{
-			Exp:     *expID,
-			Scale:   params.Scale.String(),
-			Seed:    *seed,
-			Created: time.Now().UTC().Format(time.RFC3339),
+			Exp:        *expID,
+			Scale:      params.Scale.String(),
+			Seed:       *seed,
+			Created:    time.Now().UTC().Format(time.RFC3339),
+			Workers:    effWorkers,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
 		})
 		b, err := json.MarshalIndent(summary, "", "  ")
 		if err == nil {

@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"pnet/internal/obs"
+	"pnet/internal/par"
+	"pnet/internal/report"
+)
+
+// The parallel execution contract (DESIGN.md "Parallel execution"):
+// every sweep cell owns its engine, RNG, and result slot, so tables and
+// summaries are byte-identical at any worker count. These tests pin the
+// contract at workers=1 (the serial fallback path, inline in par.Do)
+// versus workers=8 (real goroutine fan-out even on one core).
+
+// runAt runs one experiment with the process pool and per-run worker
+// request both set to n, restoring the default pool afterwards.
+func runAt(t *testing.T, id string, n int) Table {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %q not registered", id)
+	}
+	par.SetLimit(n)
+	defer par.SetLimit(0)
+	return e.Run(Params{Seed: 1, Workers: n})
+}
+
+// TestTablesWorkerInvariant renders each (cheap) experiment's table
+// serially and at width 8 and requires the bytes to match. The set
+// covers every parallelized cell shape: normalized baselines computed
+// after the join (fig6b/fig6c/fig8c), 2-D grids with index dispatch
+// (incast), name-keyed maps assembled post-join (fig10), per-variant
+// chaos cells (faults), and scenario cells sharing a baseline
+// (isolation is exercised via the cheaper fig14 path plus incast).
+func TestTablesWorkerInvariant(t *testing.T) {
+	for _, id := range []string{"fig6b", "fig6c", "fig8c", "fig10", "fig14", "incast", "faults"} {
+		serial := runAt(t, id, 1).String()
+		wide := runAt(t, id, 8).String()
+		if serial != wide {
+			t.Errorf("%s: table differs between -workers=1 and -workers=8\n--- serial ---\n%s\n--- workers=8 ---\n%s",
+				id, serial, wide)
+		}
+	}
+}
+
+// TestSummaryWorkerInvariant runs fig6c — solver records, a packet-level
+// companion run, link/plane/engine sampling — through the streaming
+// Aggregator at both widths and requires every deterministic RunSummary
+// field to match. Wall-clock fields are the only legitimate difference,
+// so they are zeroed before comparing.
+func TestSummaryWorkerInvariant(t *testing.T) {
+	run := func(n int) report.RunSummary {
+		par.SetLimit(n)
+		defer par.SetLimit(0)
+		c := obs.NewCollector()
+		aggr := report.NewAggregator()
+		c.Sink = aggr
+		c.DropSamples = true
+		e, _ := ByID("fig6c")
+		e.Run(Params{Seed: 1, Workers: n, Obs: c})
+		s := aggr.Summarize(c, report.Meta{Exp: "fig6c", Scale: "small", Seed: 1})
+		// Wall time is the one quantity allowed to move with scheduling.
+		s.Solver.WallSec = 0
+		s.Engine.WallSec = 0
+		s.Engine.EventsPerSec = 0
+		return s
+	}
+	serial := run(1)
+	wide := run(8)
+	if !reflect.DeepEqual(serial, wide) {
+		t.Errorf("RunSummary differs between workers=1 and workers=8:\nserial: %+v\nwide:   %+v", serial, wide)
+	}
+	if serial.Flows == 0 || serial.Solver.Calls == 0 {
+		t.Fatalf("summary is empty — the comparison proved nothing: %+v", serial)
+	}
+}

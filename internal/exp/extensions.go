@@ -56,32 +56,38 @@ func runIncast(p Params) Table {
 			"NDP sprays per-packet with trimming", sw*hps),
 		Header: []string{"variant", "fan-in", "median ICT", "p99 ICT", "drops", "retransmits"},
 	}
-	for _, v := range variants {
-		for _, fan := range fanIns {
-			d := p.newDriver(v.tp, v.simCfg, v.tcpCfg)
-			res, err := workload.RunIncast(d, workload.IncastConfig{
-				FanIn:      fan,
-				BlockBytes: 256_000,
-				Rounds:     7,
-				Sel:        workload.Selection{Policy: workload.ECMP},
-				Seed:       p.Seed,
-			})
-			if err != nil {
-				t.Rows = append(t.Rows, []string{v.name, fmt.Sprint(fan), "stall", "", "", ""})
-				continue
-			}
-			s := metrics.Summarize(res.CompletionTimes)
-			t.Rows = append(t.Rows, []string{
-				v.name, fmt.Sprint(fan),
-				secs(s.Median), secs(s.P99),
-				fmt.Sprint(res.Drops), fmt.Sprint(res.Retransmits),
-			})
+	// One cell per (variant, fan-in) plus one NDP cell per fan-in; the
+	// variants share read-only topologies, every cell owns its engine.
+	tcpRows := make([][]string, len(variants)*len(fanIns))
+	ndpRows := make([][]string, len(fanIns))
+	p.cells(len(tcpRows)+len(ndpRows), func(idx int) {
+		if idx >= len(tcpRows) {
+			fan := fanIns[idx-len(tcpRows)]
+			ndpRows[idx-len(tcpRows)] = ndpIncast(set.ParallelHomo, fan, p)
+			return
 		}
-	}
-	for _, fan := range fanIns {
-		row := ndpIncast(set.ParallelHomo, fan, p)
-		t.Rows = append(t.Rows, row)
-	}
+		v, fan := variants[idx/len(fanIns)], fanIns[idx%len(fanIns)]
+		d := p.newDriver(v.tp, v.simCfg, v.tcpCfg)
+		res, err := workload.RunIncast(d, workload.IncastConfig{
+			FanIn:      fan,
+			BlockBytes: 256_000,
+			Rounds:     7,
+			Sel:        workload.Selection{Policy: workload.ECMP},
+			Seed:       p.Seed,
+		})
+		if err != nil {
+			tcpRows[idx] = []string{v.name, fmt.Sprint(fan), "stall", "", "", ""}
+			return
+		}
+		s := metrics.Summarize(res.CompletionTimes)
+		tcpRows[idx] = []string{
+			v.name, fmt.Sprint(fan),
+			secs(s.Median), secs(s.P99),
+			fmt.Sprint(res.Drops), fmt.Sprint(res.Retransmits),
+		}
+	})
+	t.Rows = append(t.Rows, tcpRows...)
+	t.Rows = append(t.Rows, ndpRows...)
 	return t
 }
 
@@ -193,27 +199,34 @@ func runIsolation(p Params) Table {
 		Header: []string{"scenario", "rpc median", "rpc p99", "vs unloaded p99"},
 	}
 
-	// Baseline: unloaded network.
-	dBase := p.newDriver(tp, sim.Config{}, tcp.Config{})
-	base := runRPC(dBase, workload.Selection{Policy: workload.ECMP})
+	// Three independent scenario cells against the shared read-only
+	// topology; the "vs unloaded" column needs the baseline's P99, so
+	// rows are assembled after the join.
+	scenarios := make([]metrics.Summary, 3)
+	p.cells(3, func(i int) {
+		switch i {
+		case 0: // baseline: unloaded network
+			d := p.newDriver(tp, sim.Config{}, tcp.Config{})
+			scenarios[0] = runRPC(d, workload.Selection{Policy: workload.ECMP})
+		case 1: // shared: both tenants over all four planes
+			d := p.newDriver(tp, sim.Config{}, tcp.Config{})
+			startBulk(d, workload.Selection{Policy: workload.ECMP})
+			scenarios[1] = runRPC(d, workload.Selection{Policy: workload.ECMP})
+		case 2: // isolated: bulk pinned to planes {0,1}, RPCs to {2,3}
+			d := p.newDriver(tp, sim.Config{}, tcp.Config{})
+			if err := d.PNet.SetClass("bulk", []int{0, 1}); err != nil {
+				panic(err)
+			}
+			if err := d.PNet.SetClass("latency", []int{2, 3}); err != nil {
+				panic(err)
+			}
+			startBulk(d, workload.Selection{Policy: workload.ECMP, Class: "bulk"})
+			scenarios[2] = runRPC(d, workload.Selection{Policy: workload.ECMP, Class: "latency"})
+		}
+	})
+	base, shared, iso := scenarios[0], scenarios[1], scenarios[2]
 	t.Rows = append(t.Rows, []string{"unloaded", secs(base.Median), secs(base.P99), f2(1.0)})
-
-	// Shared: both tenants over all four planes.
-	dShared := p.newDriver(tp, sim.Config{}, tcp.Config{})
-	startBulk(dShared, workload.Selection{Policy: workload.ECMP})
-	shared := runRPC(dShared, workload.Selection{Policy: workload.ECMP})
 	t.Rows = append(t.Rows, []string{"shared planes", secs(shared.Median), secs(shared.P99), f2(shared.P99 / base.P99)})
-
-	// Isolated: bulk pinned to planes {0,1}, RPCs to planes {2,3}.
-	dIso := p.newDriver(tp, sim.Config{}, tcp.Config{})
-	if err := dIso.PNet.SetClass("bulk", []int{0, 1}); err != nil {
-		panic(err)
-	}
-	if err := dIso.PNet.SetClass("latency", []int{2, 3}); err != nil {
-		panic(err)
-	}
-	startBulk(dIso, workload.Selection{Policy: workload.ECMP, Class: "bulk"})
-	iso := runRPC(dIso, workload.Selection{Policy: workload.ECMP, Class: "latency"})
 	t.Rows = append(t.Rows, []string{"isolated planes", secs(iso.Median), secs(iso.P99), f2(iso.P99 / base.P99)})
 	return t
 }

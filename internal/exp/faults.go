@@ -103,10 +103,17 @@ func runFaults(p Params) Table {
 		{"parallel homogeneous", ft.ParallelHomo},
 		{"parallel heterogeneous", jf.ParallelHetero},
 	}
-	for i, v := range variants {
-		cfg.netID = i
-		t.Rows = append(t.Rows, runFaultsWith(p, v.tp, cfg).row(v.name))
-	}
+	// The variants are independent cells: each owns a distinct topology
+	// (the chaos injector mutates link state, so sharing a graph across
+	// concurrent cells would race), its own engine, monitor, and
+	// injector. cfg is copied per cell to carry the network ID.
+	rows := make([][]string, len(variants))
+	p.cells(len(variants), func(i int) {
+		c := cfg
+		c.netID = i
+		rows[i] = runFaultsWith(p, variants[i].tp, c).row(variants[i].name)
+	})
+	t.Rows = append(t.Rows, rows...)
 	return t
 }
 

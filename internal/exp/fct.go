@@ -100,16 +100,21 @@ func runFig9(p Params) Table {
 			return h
 		}()...),
 	}
-	for _, n := range nets {
-		row := []string{n.name}
-		for _, size := range sizes {
-			m, err := permutationFCT(n.tp, n.sel, size, p)
-			if err != nil {
-				row = append(row, "stall")
-				continue
-			}
-			row = append(row, secs(m))
+	// The (network, size) grid is fully independent: every cell builds
+	// its own driver and RNG from p.Seed, so all cells run concurrently
+	// into per-index slots.
+	vals := make([]string, len(nets)*len(sizes))
+	p.cells(len(vals), func(idx int) {
+		n, size := nets[idx/len(sizes)], sizes[idx%len(sizes)]
+		m, err := permutationFCT(n.tp, n.sel, size, p)
+		if err != nil {
+			vals[idx] = "stall"
+			return
 		}
+		vals[idx] = secs(m)
+	})
+	for ni, n := range nets {
+		row := append([]string{n.name}, vals[ni*len(sizes):(ni+1)*len(sizes)]...)
 		t.Rows = append(t.Rows, row)
 	}
 	return t
@@ -189,7 +194,11 @@ func runTraceFCT(id string, cdf traces.SizeCDF, speed float64, topoKind string, 
 			cdf.Name, capNote(sizeCap)),
 		Header: []string{"network", "median", "p90", "p99", "mean"},
 	}
-	for _, n := range nets {
+	// One cell per network: each owns a driver and a trace workload
+	// seeded from p.Seed, so the four networks simulate concurrently.
+	rows := make([][]string, len(nets))
+	p.cells(len(nets), func(i int) {
+		n := nets[i]
 		d := p.newDriver(n.tp, sim.Config{}, tcp.Config{})
 		res, err := workload.RunTrace(d, workload.TraceConfig{
 			CDF:          cdf,
@@ -201,12 +210,13 @@ func runTraceFCT(id string, cdf traces.SizeCDF, speed float64, topoKind string, 
 			Deadline:     300 * sim.Second,
 		})
 		if err != nil {
-			t.Rows = append(t.Rows, []string{n.name, "stall", "", "", ""})
-			continue
+			rows[i] = []string{n.name, "stall", "", "", ""}
+			return
 		}
 		s := metrics.Summarize(res.FCTs)
-		t.Rows = append(t.Rows, []string{n.name, secs(s.Median), secs(s.P90), secs(s.P99), secs(s.Mean)})
-	}
+		rows[i] = []string{n.name, secs(s.Median), secs(s.P90), secs(s.P99), secs(s.Mean)}
+	})
+	t.Rows = append(t.Rows, rows...)
 	return t
 }
 
@@ -235,6 +245,9 @@ func runFigAppendix(p Params) Table {
 		Note:   "median/p99 FCT per network; rows = trace x speed x topology x network",
 		Header: []string{"trace", "speed", "topology", "network", "median", "p99"},
 	}
+	// The outer sweep stays serial (rows must interleave in trace/speed/
+	// topology order); each runTraceFCT fans its four networks out, and
+	// nested calls degrade gracefully once the worker pool is saturated.
 	for _, cdf := range cdfs {
 		for _, sp := range speeds {
 			for _, tk := range topos {

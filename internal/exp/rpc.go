@@ -27,12 +27,17 @@ func rpcNets(p Params) []netUnderTest {
 	return jellyfishNUT(sw, deg, hps, 4, 100, p.Seed, sel, sel)
 }
 
-// runRPCOnce measures request completion times for every network.
+// rpcSamples measures request completion times for every network, one
+// concurrent cell per network; the name-keyed map is assembled after
+// the join so cell completion order never shows.
 func rpcSamples(p Params, reqBytes, respBytes int64, loops, rounds int) map[string][]float64 {
-	out := make(map[string][]float64)
-	for _, n := range rpcNets(p) {
+	nets := rpcNets(p)
+	all := make([][]float64, len(nets))
+	p.cells(len(nets), func(i int) {
+		n := nets[i]
 		d := p.newDriver(n.tp, sim.Config{}, tcp.Config{})
-		samples, err := workload.RunRPC(d, workload.RPCConfig{
+		// On error, keep what completed; the table will show the shortfall.
+		samples, _ := workload.RunRPC(d, workload.RPCConfig{
 			ReqBytes:     reqBytes,
 			RespBytes:    respBytes,
 			Rounds:       rounds,
@@ -41,12 +46,11 @@ func rpcSamples(p Params, reqBytes, respBytes int64, loops, rounds int) map[stri
 			Seed:         p.Seed,
 			Deadline:     120 * sim.Second,
 		})
-		if err != nil {
-			// Record what completed; the table will show the shortfall.
-			out[n.name] = samples
-			continue
-		}
-		out[n.name] = samples
+		all[i] = samples
+	})
+	out := make(map[string][]float64)
+	for i, n := range nets {
+		out[n.name] = all[i]
 	}
 	return out
 }
@@ -120,29 +124,33 @@ func runFig11(p Params) Table {
 		Note:   "closed-loop 100kB RPCs per host; median / p90 / p99 per concurrency level",
 		Header: []string{"network", "concurrency", "median", "p90", "p99", "drops"},
 	}
-	for _, n := range rpcNets(p) {
-		for _, conc := range concurrencies {
-			d := p.newDriver(n.tp, sim.Config{}, tcp.Config{})
-			samples, err := workload.RunRPC(d, workload.RPCConfig{
-				ReqBytes:     100_000,
-				RespBytes:    1500,
-				Rounds:       rounds,
-				LoopsPerHost: conc,
-				Sel:          n.sel,
-				Seed:         p.Seed,
-				Deadline:     120 * sim.Second,
-			})
-			if err != nil || len(samples) == 0 {
-				t.Rows = append(t.Rows, []string{n.name, fmt.Sprint(conc), "stall", "", "", ""})
-				continue
-			}
-			s := metrics.Summarize(samples)
-			t.Rows = append(t.Rows, []string{
-				n.name, fmt.Sprint(conc),
-				secs(s.Median), secs(s.P90), secs(s.P99),
-				fmt.Sprint(d.Net.TotalDrops()),
-			})
+	// The (network, concurrency) grid is independent — each cell owns a
+	// driver, so the whole grid runs concurrently into per-index rows.
+	nets := rpcNets(p)
+	rows := make([][]string, len(nets)*len(concurrencies))
+	p.cells(len(rows), func(idx int) {
+		n, conc := nets[idx/len(concurrencies)], concurrencies[idx%len(concurrencies)]
+		d := p.newDriver(n.tp, sim.Config{}, tcp.Config{})
+		samples, err := workload.RunRPC(d, workload.RPCConfig{
+			ReqBytes:     100_000,
+			RespBytes:    1500,
+			Rounds:       rounds,
+			LoopsPerHost: conc,
+			Sel:          n.sel,
+			Seed:         p.Seed,
+			Deadline:     120 * sim.Second,
+		})
+		if err != nil || len(samples) == 0 {
+			rows[idx] = []string{n.name, fmt.Sprint(conc), "stall", "", "", ""}
+			return
 		}
-	}
+		s := metrics.Summarize(samples)
+		rows[idx] = []string{
+			n.name, fmt.Sprint(conc),
+			secs(s.Median), secs(s.P90), secs(s.P99),
+			fmt.Sprint(d.Net.TotalDrops()),
+		}
+	})
+	t.Rows = append(t.Rows, rows...)
 	return t
 }

@@ -91,24 +91,44 @@ func runECMPFigure(id, title string, p Params, pattern func(*topo.Topology, *ran
 		return meanStd(vals)
 	}
 
-	serialSet := topo.FatTreeSet(k, 8, 100)
-	base, _ := trials(serialSet.SerialLow)
+	// Every network is an independent cell: it builds its own topology
+	// and derives all randomness from (p.Seed, trial), so the cells can
+	// run concurrently and the stats land in per-cell slots.
+	type cell struct {
+		name  string
+		build func() *topo.Topology
+	}
+	cells := []cell{
+		{"serial low-bw (1x100G)", func() *topo.Topology { return topo.FatTreeSet(k, 8, 100).SerialLow }},
+	}
+	for _, n := range planeCounts {
+		cells = append(cells, cell{
+			fmt.Sprintf("parallel %dx100G", n),
+			func() *topo.Topology { return topo.FatTreeSet(k, n, 100).ParallelHomo },
+		})
+	}
+	cells = append(cells, cell{
+		"serial high-bw (1x800G)",
+		func() *topo.Topology { return topo.FatTreeSet(k, 8, 100).SerialHigh },
+	})
+
+	type stat struct{ mean, std float64 }
+	stats := make([]stat, len(cells))
+	p.cells(len(cells), func(i int) {
+		m, s := trials(cells[i].build())
+		stats[i] = stat{m, s}
+	})
+	base := stats[0].mean
 
 	t := Table{
 		ID: id, Title: title,
 		Note:   fmt.Sprintf("k=%d fat tree (%d hosts), ECMP single path per flow; normalized to serial low-bw", k, k*k*k/4),
 		Header: []string{"network", "throughput(norm)", "stddev"},
 	}
-	t.Rows = append(t.Rows, []string{"serial low-bw (1x100G)", f2(1.0), f2(0)})
-	for _, n := range planeCounts {
-		set := topo.FatTreeSet(k, n, 100)
-		m, s := trials(set.ParallelHomo)
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("parallel %dx100G", n), f2(m / base), f2(s / base),
-		})
+	t.Rows = append(t.Rows, []string{cells[0].name, f2(1.0), f2(0)})
+	for i := 1; i < len(cells); i++ {
+		t.Rows = append(t.Rows, []string{cells[i].name, f2(stats[i].mean / base), f2(stats[i].std / base)})
 	}
-	m, s := trials(serialSet.SerialHigh)
-	t.Rows = append(t.Rows, []string{"serial high-bw (1x800G)", f2(m / base), f2(s / base)})
 	return t
 }
 
@@ -184,18 +204,34 @@ func runFig6c(p Params) Table {
 		}()...),
 	}
 
+	// The permutation RNG is shared across networks, so commodity
+	// generation must stay in serial net order; the expensive KSP+LP
+	// sweeps are then independent per network and fan out.
 	rng := rand.New(rand.NewSource(p.Seed))
-	var base float64
-	for _, net := range nets {
-		set := topo.FatTreeSet(k, net.planes, 100)
-		tp := net.pick(set)
-		cs := workload.PermutationCommodities(tp, 100, rng)
-		vals := kspSweep(tp, cs, ks, 0.08, p.Seed, func(k int, r mcf.Result) {
+	type prep struct {
+		tp *topo.Topology
+		cs []route.Commodity
+	}
+	preps := make([]prep, len(nets))
+	for i, net := range nets {
+		tp := net.pick(topo.FatTreeSet(k, net.planes, 100))
+		preps[i] = prep{tp, workload.PermutationCommodities(tp, 100, rng)}
+	}
+	allVals := make([][]float64, len(nets))
+	p.cells(len(nets), func(i int) {
+		allVals[i] = kspSweep(preps[i].tp, preps[i].cs, ks, 0.08, p.Seed, func(k int, r mcf.Result) {
 			p.recordSolver("fig6c", "gk-fixed", k, r)
 		})
+	})
+
+	var base float64
+	for i, net := range nets {
 		if net.planes == 1 {
-			base = vals[len(vals)-1] // saturated serial low-bw
+			base = allVals[i][len(allVals[i])-1] // saturated serial low-bw
 		}
+	}
+	for i, net := range nets {
+		vals := allVals[i]
 		row := []string{net.name}
 		circled := false
 		for _, v := range vals {
@@ -246,8 +282,17 @@ func runFig7(p Params) Table {
 		return r.Lambda
 	}
 
+	// Topology construction is cheap and shares the seed, so it stays
+	// serial; the GK solves — one per network — fan out as cells.
 	baseSet := topo.JellyfishSet(sw, deg, hps, 2, 100, p.Seed)
-	base := ideal(baseSet.SerialLow)
+	tops := []*topo.Topology{baseSet.SerialLow}
+	for _, n := range planeCounts {
+		set := topo.JellyfishSet(sw, deg, hps, n, 100, p.Seed)
+		tops = append(tops, set.SerialHigh, set.ParallelHetero)
+	}
+	vals := make([]float64, len(tops))
+	p.cells(len(tops), func(i int) { vals[i] = ideal(tops[i]) })
+	base := vals[0]
 
 	t := Table{
 		ID:    "fig7",
@@ -257,10 +302,8 @@ func runFig7(p Params) Table {
 		Header: []string{"network", "planes", "throughput(norm)", "vs serial high"},
 	}
 	t.Rows = append(t.Rows, []string{"serial low-bw", "1", f2(1.0), ""})
-	for _, n := range planeCounts {
-		set := topo.JellyfishSet(sw, deg, hps, n, 100, p.Seed)
-		high := ideal(set.SerialHigh)
-		het := ideal(set.ParallelHetero)
+	for i, n := range planeCounts {
+		high, het := vals[1+2*i], vals[2+2*i]
 		t.Rows = append(t.Rows, []string{"serial high-bw", fmt.Sprintf("(%dx speed)", n), f2(high / base), f2(1.0)})
 		t.Rows = append(t.Rows, []string{"parallel heterogeneous", fmt.Sprint(n), f2(het / base), f2(het / high)})
 	}
@@ -275,22 +318,12 @@ type spliceKSP struct {
 	tp    *topo.Topology
 	k     int
 	seed  int64
-	masks map[int32][]bool
+	masks [][]bool                  // shared per-graph cache, indexed by plane
 	cache map[[3]int64][]graph.Path // (torSrc, torDst, plane) -> switch paths
 }
 
 func newSpliceKSP(tp *topo.Topology, k int, seed int64) *spliceKSP {
-	masks := make(map[int32][]bool, tp.Planes)
-	for plane := 0; plane < tp.Planes; plane++ {
-		mask := make([]bool, tp.G.NumLinks())
-		for i := 0; i < tp.G.NumLinks(); i++ {
-			if pl := tp.G.Link(graph.LinkID(i)).Plane; pl >= 0 && pl != int32(plane) {
-				mask[i] = true
-			}
-		}
-		masks[int32(plane)] = mask
-	}
-	return &spliceKSP{tp: tp, k: k, seed: seed, masks: masks, cache: map[[3]int64][]graph.Path{}}
+	return &spliceKSP{tp: tp, k: k, seed: seed, masks: tp.G.PlaneMasks(), cache: map[[3]int64][]graph.Path{}}
 }
 
 func (s *spliceKSP) torPaths(torSrc, torDst graph.NodeID, plane int32) []graph.Path {
@@ -300,9 +333,13 @@ func (s *spliceKSP) torPaths(torSrc, torDst graph.NodeID, plane int32) []graph.P
 	}
 	var ps []graph.Path
 	if torSrc != torDst {
+		var mask []bool
+		if int(plane) < len(s.masks) {
+			mask = s.masks[plane]
+		}
 		// Overshoot so host-level tie shuffling samples from (nearly)
 		// complete equal-length groups.
-		ps = graph.KShortestPathsMasked(s.tp.G, torSrc, torDst, s.k+8, s.masks[plane])
+		ps = graph.KShortestPathsMasked(s.tp.G, torSrc, torDst, s.k+8, mask)
 	}
 	s.cache[key] = ps
 	return ps
@@ -372,8 +409,18 @@ func runJellyfishKSP(id, title string, p Params, allToAll bool) Table {
 		return mcf.FixedPaths(tp.G, cs, paths, mcf.Options{Epsilon: eps}).Lambda
 	}
 
+	// Each measure() cell builds its own RNG, splice cache, and solver
+	// state against a read-only topology, so all networks run at once.
 	baseSet := topo.JellyfishSet(sw, deg, hps, 2, 100, p.Seed)
-	base := measure(baseSet.SerialLow)
+	tops := []*topo.Topology{baseSet.SerialLow}
+	for _, n := range planeCounts {
+		set := topo.JellyfishSet(sw, deg, hps, n, 100, p.Seed)
+		tops = append(tops, set.ParallelHomo, set.ParallelHetero)
+	}
+	tops = append(tops, baseSet.SerialHigh)
+	vals := make([]float64, len(tops))
+	p.cells(len(tops), func(i int) { vals[i] = measure(tops[i]) })
+	base := vals[0]
 
 	t := Table{
 		ID: id, Title: title,
@@ -382,15 +429,12 @@ func runJellyfishKSP(id, title string, p Params, allToAll bool) Table {
 		Header: []string{"network", "planes", "throughput(norm)"},
 	}
 	t.Rows = append(t.Rows, []string{"serial low-bw", "1", f2(1.0)})
-	for _, n := range planeCounts {
-		set := topo.JellyfishSet(sw, deg, hps, n, 100, p.Seed)
-		homo := measure(set.ParallelHomo)
-		het := measure(set.ParallelHetero)
+	for i, n := range planeCounts {
+		homo, het := vals[1+2*i], vals[2+2*i]
 		t.Rows = append(t.Rows, []string{"parallel homogeneous", fmt.Sprint(n), f2(homo / base)})
 		t.Rows = append(t.Rows, []string{"parallel heterogeneous", fmt.Sprint(n), f2(het / base)})
 	}
-	high := measure(baseSet.SerialHigh)
-	t.Rows = append(t.Rows, []string{"serial high-bw", "(2x speed)", f2(high / base)})
+	t.Rows = append(t.Rows, []string{"serial high-bw", "(2x speed)", f2(vals[len(vals)-1] / base)})
 	return t
 }
 
@@ -429,8 +473,12 @@ func runFig8c(p Params) Table {
 		}()...),
 	}
 
-	var base float64
-	for _, net := range nets {
+	// Unlike fig6c, each network cell seeds its own permutation RNG from
+	// p.Seed, so the whole cell — topology, commodities, sweep — is
+	// self-contained and cells run concurrently.
+	allVals := make([][]float64, len(nets))
+	p.cells(len(nets), func(i int) {
+		net := nets[i]
 		set := topo.JellyfishSet(sw, deg, hps, max(net.planes, 2), 100, p.Seed)
 		tp := set.SerialLow
 		if net.planes > 1 {
@@ -442,15 +490,21 @@ func runFig8c(p Params) Table {
 		}
 		rng := rand.New(rand.NewSource(p.Seed))
 		cs := workload.PermutationCommodities(tp, 100, rng)
-		vals := kspSweep(tp, cs, ks, 0.08, p.Seed, func(k int, r mcf.Result) {
+		allVals[i] = kspSweep(tp, cs, ks, 0.08, p.Seed, func(k int, r mcf.Result) {
 			p.recordSolver("fig8c", "gk-fixed", k, r)
 		})
+	})
+
+	var base float64
+	for i, net := range nets {
 		if net.planes == 1 {
-			base = vals[len(vals)-1]
+			base = allVals[i][len(allVals[i])-1]
 		}
+	}
+	for i, net := range nets {
 		row := []string{net.name}
 		circled := false
-		for _, v := range vals {
+		for _, v := range allVals[i] {
 			norm := v / base
 			cell := f2(norm)
 			if !circled && norm >= 0.95*float64(net.planes) {

@@ -15,7 +15,10 @@
 // the paper's evaluation.
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // NodeID identifies a node within a Graph.
 type NodeID int32
@@ -45,6 +48,14 @@ type Graph struct {
 	links   []Link
 	out     [][]LinkID
 	in      [][]LinkID
+
+	// Plane-mask cache (see PlaneMasks). Guarded by masksMu so that
+	// concurrent path computations against one shared read-only graph —
+	// the parallel-sweep execution model — build the masks exactly once.
+	masksMu    sync.Mutex
+	masks      [][]bool
+	masksValid bool
+	masksLinks int // NumLinks when masks was computed; invalidates on growth
 }
 
 // New returns an empty graph with n nodes, all transit-capable.
@@ -159,6 +170,48 @@ func (g *Graph) Clone() *Graph {
 		c.in[i] = append([]LinkID(nil), g.in[i]...)
 	}
 	return c
+}
+
+// PlaneMasks returns, in increasing plane order, the banned-link masks
+// that confine a path search to each dataplane: mask[p][l] is true when
+// link l belongs to a different plane than p (untagged plane -1 links are
+// allowed everywhere). The result is nil when no link carries a plane tag.
+//
+// The masks are computed once per graph and cached; the cache is
+// invalidated when links are added, and the returned slices are shared —
+// callers must treat them as read-only. Safe for concurrent use as long
+// as the topology itself is not mutated concurrently, which is the
+// contract for all parallel path computation.
+func (g *Graph) PlaneMasks() [][]bool {
+	g.masksMu.Lock()
+	defer g.masksMu.Unlock()
+	if g.masksValid && g.masksLinks == len(g.links) {
+		return g.masks
+	}
+	g.masksValid = true
+	g.masksLinks = len(g.links)
+	g.masks = nil
+	maxPlane := int32(-1)
+	for i := range g.links {
+		if p := g.links[i].Plane; p > maxPlane {
+			maxPlane = p
+		}
+	}
+	if maxPlane < 0 {
+		return nil
+	}
+	masks := make([][]bool, maxPlane+1)
+	for p := int32(0); p <= maxPlane; p++ {
+		mask := make([]bool, len(g.links))
+		for i := range g.links {
+			if q := g.links[i].Plane; q >= 0 && q != p {
+				mask[i] = true
+			}
+		}
+		masks[p] = mask
+	}
+	g.masks = masks
+	return masks
 }
 
 // ReverseLink returns the link running opposite to id (same endpoints and

@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"sync"
+	"testing"
+)
+
+// twoPlane builds 0-1 on plane 0, 0-1 on plane 1, and one untagged
+// management link 1-0.
+func twoPlane() *Graph {
+	g := New(2)
+	g.AddLink(0, 1, 100, 0)
+	g.AddLink(0, 1, 100, 1)
+	g.AddLink(1, 0, 100, -1)
+	return g
+}
+
+func TestPlaneMasksSemantics(t *testing.T) {
+	g := twoPlane()
+	masks := g.PlaneMasks()
+	if len(masks) != 2 {
+		t.Fatalf("got %d masks, want 2", len(masks))
+	}
+	// mask[p] excludes links tagged with a *different* plane; untagged
+	// links stay usable from every plane.
+	for p, want := range [][]bool{{false, true, false}, {true, false, false}} {
+		for l, excl := range want {
+			if masks[p][l] != excl {
+				t.Errorf("mask[%d][%d] = %v, want %v", p, l, masks[p][l], excl)
+			}
+		}
+	}
+}
+
+func TestPlaneMasksCached(t *testing.T) {
+	g := twoPlane()
+	a, b := g.PlaneMasks(), g.PlaneMasks()
+	if &a[0] != &b[0] {
+		t.Error("second call rebuilt the masks instead of hitting the cache")
+	}
+	// Link-state flips must NOT invalidate: masks depend only on the
+	// immutable Plane tags, and KSP on a degraded graph relies on that.
+	g.SetLinkUp(0, false)
+	if c := g.PlaneMasks(); &a[0] != &c[0] {
+		t.Error("SetLinkUp invalidated the plane-mask cache")
+	}
+	// Growing the graph must invalidate and cover the new link.
+	id := g.AddLink(1, 0, 100, 1)
+	d := g.PlaneMasks()
+	if &a[0] == &d[0] {
+		t.Fatal("AddLink did not invalidate the cache")
+	}
+	if len(d[0]) != g.NumLinks() || !d[0][id] || d[1][id] {
+		t.Errorf("new plane-1 link %d masked wrong: plane0=%v plane1=%v", id, d[0][id], d[1][id])
+	}
+}
+
+func TestPlaneMasksUntaggedGraph(t *testing.T) {
+	g := line(3) // all links plane 0? no: AddDuplex(..., 0) tags plane 0
+	g2 := New(2)
+	g2.AddLink(0, 1, 100, -1)
+	if g2.PlaneMasks() != nil {
+		t.Error("untagged graph should have nil masks")
+	}
+	// The nil result must be cached too — repeated calls stay cheap and
+	// consistent.
+	if g2.PlaneMasks() != nil {
+		t.Error("second call on untagged graph not nil")
+	}
+	if g.PlaneMasks() == nil {
+		t.Error("plane-0-tagged line lost its masks")
+	}
+}
+
+func TestPlaneMasksCloneIndependent(t *testing.T) {
+	g := twoPlane()
+	_ = g.PlaneMasks()
+	c := g.Clone()
+	c.AddLink(0, 1, 100, 2)
+	if got := len(c.PlaneMasks()); got != 3 {
+		t.Errorf("clone masks cover %d planes, want 3", got)
+	}
+	if got := len(g.PlaneMasks()); got != 2 {
+		t.Errorf("original masks cover %d planes after clone mutation, want 2", got)
+	}
+}
+
+// TestPlaneMasksConcurrent exercises the cache from parallel readers —
+// the KSP fan-out calls PlaneMasks from every worker. Meaningful under
+// -race.
+func TestPlaneMasksConcurrent(t *testing.T) {
+	g := twoPlane()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if len(g.PlaneMasks()) != 2 {
+					t.Error("bad mask count")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

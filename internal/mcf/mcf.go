@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"pnet/internal/graph"
+	"pnet/internal/par"
 	"pnet/internal/route"
 )
 
@@ -166,10 +167,16 @@ func Free(g *graph.Graph, cs []route.Commodity, opts Options) Result {
 		return p, true
 	}
 	// Probe reachability first so unroutable commodities are reported
-	// rather than looping forever.
+	// rather than looping forever. The per-commodity probes only read the
+	// graph, so they fan out across cores; the GK phase loop itself stays
+	// sequential — each phase's length function depends on every earlier
+	// routing decision, and reordering them would change the result.
 	unrouted := 0
-	for _, c := range cs {
-		if _, ok := graph.ShortestPath(g, c.Src, c.Dst); !ok {
+	for _, ok := range par.Map(len(cs), 0, func(j int) bool {
+		_, ok := graph.ShortestPath(g, cs[j].Src, cs[j].Dst)
+		return ok
+	}) {
+		if !ok {
 			unrouted++
 		}
 	}

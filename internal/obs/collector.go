@@ -3,6 +3,8 @@ package obs
 import (
 	"bufio"
 	"io"
+	"sort"
+	"sync"
 
 	"pnet/internal/sim"
 )
@@ -13,6 +15,14 @@ import (
 // Collector bundles the telemetry of one harness run: a metric registry,
 // optional JSONL streams, and per-network samplers/tracers. Every method
 // is nil-safe so instrumented code needs no guards of its own.
+//
+// A Collector is safe for concurrent producers: parallel experiment
+// cells attach networks and record flows/solver calls/faults against one
+// shared instance. Record slices then accumulate in completion order —
+// nondeterministic under workers > 1 — but every consumer (the registry,
+// report summarization) aggregates commutatively, so derived results do
+// not depend on worker count. The exported Flows/Solver/Faults fields
+// must only be read directly after all producers have finished.
 type Collector struct {
 	// Reg aggregates counters and histograms across everything the
 	// collector sees (flows, solver calls, attach events).
@@ -37,6 +47,8 @@ type Collector struct {
 	Solver []SolverRecord
 	Faults []FaultRecord
 
+	mu       sync.Mutex // guards the record slices and attach bookkeeping
+	traceMu  sync.Mutex // serializes all JSONLSinks sharing tw
 	mw       *MetricsWriter
 	tw       *bufio.Writer // shared by every network's JSONLSink
 	samplers []*Sampler
@@ -60,7 +72,7 @@ func (c *Collector) MetricsLines() int64 {
 	if c == nil || c.mw == nil {
 		return 0
 	}
-	return c.mw.Lines
+	return c.mw.Count()
 }
 
 // TraceEvents returns the number of trace lines written so far.
@@ -68,9 +80,12 @@ func (c *Collector) TraceEvents() int64 {
 	if c == nil {
 		return 0
 	}
+	c.mu.Lock()
+	sinks := c.sinks
+	c.mu.Unlock()
 	var n int64
-	for _, s := range c.sinks {
-		n += s.Events
+	for _, s := range sinks {
+		n += s.EventCount()
 	}
 	return n
 }
@@ -90,13 +105,19 @@ func (c *Collector) AttachNetwork(eng *sim.Engine, net *sim.Network) *Sampler {
 	if c == nil {
 		return nil
 	}
+	c.mu.Lock()
 	id := c.nets
 	c.nets++
-	c.Reg.Counter("networks.attached").Inc()
+	var sink *JSONLSink
 	if c.tw != nil {
-		sink := NewJSONLSink(c.tw, eng, net.G)
-		net.Tracer = sink
+		sink = NewJSONLSink(c.tw, eng, net.G)
+		sink.mu = &c.traceMu // every sink shares tw; writes must serialize
 		c.sinks = append(c.sinks, sink)
+	}
+	c.mu.Unlock()
+	c.Reg.Counter("networks.attached").Inc()
+	if sink != nil {
+		net.Tracer = sink
 	}
 	var sampler *Sampler
 	if c.mw != nil || c.AlwaysSample || c.Sink != nil {
@@ -106,7 +127,9 @@ func (c *Collector) AttachNetwork(eng *sim.Engine, net *sim.Network) *Sampler {
 		sampler.sink = c.Sink
 		sampler.retain = !c.DropSamples
 		sampler.Start()
+		c.mu.Lock()
 		c.samplers = append(c.samplers, sampler)
+		c.mu.Unlock()
 	}
 	return sampler
 }
@@ -117,7 +140,11 @@ func (c *Collector) Samplers() []*Sampler {
 	if c == nil {
 		return nil
 	}
-	return c.samplers
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.samplers
+	sort.Slice(out, func(i, j int) bool { return out[i].NetID < out[j].NetID })
+	return out
 }
 
 // EffectiveInterval reports the sampling period attached networks use.
@@ -134,7 +161,9 @@ func (c *Collector) RecordFlow(r FlowRecord) {
 		return
 	}
 	r.Type = "flow"
+	c.mu.Lock()
 	c.Flows = append(c.Flows, r)
+	c.mu.Unlock()
 	c.Reg.Counter("flows.completed").Inc()
 	c.Reg.Counter("flows.bytes").Add(r.Bytes)
 	c.Reg.Counter("flows.retransmits").Add(r.Retransmits)
@@ -152,7 +181,9 @@ func (c *Collector) RecordSolver(r SolverRecord) {
 		return
 	}
 	r.Type = "solver"
+	c.mu.Lock()
 	c.Solver = append(c.Solver, r)
+	c.mu.Unlock()
 	c.Reg.Counter("solver.calls").Inc()
 	c.Reg.Counter("solver.phases").Add(int64(r.Phases))
 	c.Reg.Counter("solver.iterations").Add(r.Iterations)
@@ -171,7 +202,9 @@ func (c *Collector) RecordFault(r FaultRecord) {
 		return
 	}
 	r.Type = KindFault
+	c.mu.Lock()
 	c.Faults = append(c.Faults, r)
+	c.mu.Unlock()
 	switch r.Event {
 	case "inject":
 		c.Reg.Counter("faults.injected").Inc()
@@ -204,11 +237,37 @@ func (c *Collector) FCTs() []float64 {
 	if c == nil {
 		return nil
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]float64, 0, len(c.Flows))
 	for _, f := range c.Flows {
 		out = append(out, f.FCT)
 	}
 	return out
+}
+
+// Merge folds src into c: in-memory records are appended and registries
+// merged. It is the fan-in step for runs that give each parallel cell a
+// private collector (for deterministic per-cell record order) and
+// combine them afterwards; merging in cell-index order makes even the
+// merged record order deterministic. Streams and samplers are not
+// carried over — merge before Close, and only into a collector whose
+// producers are quiescent.
+func (c *Collector) Merge(src *Collector) {
+	if c == nil || src == nil || c == src {
+		return
+	}
+	src.mu.Lock()
+	flows := append([]FlowRecord(nil), src.Flows...)
+	solver := append([]SolverRecord(nil), src.Solver...)
+	faults := append([]FaultRecord(nil), src.Faults...)
+	src.mu.Unlock()
+	c.mu.Lock()
+	c.Flows = append(c.Flows, flows...)
+	c.Solver = append(c.Solver, solver...)
+	c.Faults = append(c.Faults, faults...)
+	c.mu.Unlock()
+	c.Reg.Merge(src.Reg)
 }
 
 // Close stops samplers, dumps the registry snapshot to the metrics
@@ -219,7 +278,11 @@ func (c *Collector) Close() error {
 		return nil
 	}
 	var first error
-	for _, s := range c.samplers {
+	c.mu.Lock()
+	samplers := c.samplers
+	sinks := c.sinks
+	c.mu.Unlock()
+	for _, s := range samplers {
 		s.Stop()
 	}
 	if c.mw != nil {
@@ -230,7 +293,7 @@ func (c *Collector) Close() error {
 			first = err
 		}
 	}
-	for _, s := range c.sinks {
+	for _, s := range sinks {
 		if err := s.Flush(); err != nil && first == nil {
 			first = err
 		}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"io"
 	"strconv"
+	"sync"
 
 	"pnet/internal/graph"
 	"pnet/internal/sim"
@@ -26,7 +27,15 @@ type JSONLSink struct {
 	w   *bufio.Writer
 	buf []byte
 
-	// Events counts lines written.
+	// mu, when set, serializes writes to w — required when several
+	// networks' sinks share one buffered writer and their engines run on
+	// different goroutines (the parallel sweep). Each sink still builds
+	// its line in a private buf outside the lock. Nil for the
+	// single-network, single-goroutine case.
+	mu *sync.Mutex
+
+	// Events counts lines written. Use EventCount to read it while other
+	// goroutines may still be tracing.
 	Events int64
 	err    error
 }
@@ -65,14 +74,34 @@ func (s *JSONLSink) PacketEvent(ev sim.TraceEvent, p *sim.Packet, link graph.Lin
 	}
 	b = append(b, '}', '\n')
 	s.buf = b
+	if s.mu != nil {
+		s.mu.Lock()
+	}
 	if _, err := s.w.Write(b); err != nil && s.err == nil {
 		s.err = err
 	}
 	s.Events++
+	if s.mu != nil {
+		s.mu.Unlock()
+	}
+}
+
+// EventCount returns the number of lines written, taking the shared
+// write lock when one is set.
+func (s *JSONLSink) EventCount() int64 {
+	if s.mu != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+	return s.Events
 }
 
 // Flush drains the buffer and returns the first write error, if any.
 func (s *JSONLSink) Flush() error {
+	if s.mu != nil {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
 	if err := s.w.Flush(); err != nil && s.err == nil {
 		s.err = err
 	}
@@ -81,12 +110,17 @@ func (s *JSONLSink) Flush() error {
 
 // MetricsWriter streams metric records — samples, flow records, solver
 // records, metric snapshots — as JSONL. Unlike the packet sink this is
-// not a hot path, so records go through encoding/json.
+// not a hot path, so records go through encoding/json, and an internal
+// mutex makes it safe for the samplers of concurrently-running networks
+// to share one stream (individual lines never interleave; line order
+// across producers is arrival order).
 type MetricsWriter struct {
+	mu  sync.Mutex
 	w   *bufio.Writer
 	enc *json.Encoder
 
-	// Lines counts records written.
+	// Lines counts records written. Use Count to read it while other
+	// goroutines may still be writing.
 	Lines int64
 	err   error
 }
@@ -98,6 +132,8 @@ func NewMetricsWriter(w io.Writer) *MetricsWriter {
 }
 
 func (m *MetricsWriter) write(v any) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.err != nil {
 		return
 	}
@@ -108,8 +144,17 @@ func (m *MetricsWriter) write(v any) {
 	m.Lines++
 }
 
+// Count returns the number of records written so far.
+func (m *MetricsWriter) Count() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.Lines
+}
+
 // Flush drains the buffer and returns the first error, if any.
 func (m *MetricsWriter) Flush() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if err := m.w.Flush(); err != nil && m.err == nil {
 		m.err = err
 	}

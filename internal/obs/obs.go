@@ -10,37 +10,44 @@
 // distribution. This package makes those observable while a simulation
 // runs instead of reconstructable only from final tables.
 //
-// Everything here is stdlib-only and single-threaded, like the simulator
-// itself. All hooks are nil-safe: a nil *Collector accepts records and
-// does nothing, and an unattached network pays only the existing
-// one-branch cost of sim.Network's nil Tracer check.
+// Everything here is stdlib-only. Each sim engine remains single-threaded,
+// but the parallel sweep harness runs many engines at once against one
+// shared Collector, so every primitive in this package is safe for
+// concurrent producers: counters and gauges are atomics, histograms and
+// registries carry a mutex, and per-cell registries can be folded into a
+// shared one with Merge. All hooks are nil-safe: a nil *Collector accepts
+// records and does nothing, and an unattached network pays only the
+// existing one-branch cost of sim.Network's nil Tracer check.
 package obs
 
 import (
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
-// Counter is a monotonically increasing integer metric.
-type Counter struct{ v int64 }
+// Counter is a monotonically increasing integer metric. Safe for
+// concurrent use.
+type Counter struct{ v atomic.Int64 }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.v++ }
+func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
-func (c *Counter) Add(n int64) { c.v += n }
+func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Value returns the current count.
-func (c *Counter) Value() int64 { return c.v }
+func (c *Counter) Value() int64 { return c.v.Load() }
 
-// Gauge is a last-value-wins float metric.
-type Gauge struct{ v float64 }
+// Gauge is a last-value-wins float metric. Safe for concurrent use.
+type Gauge struct{ v atomic.Uint64 }
 
 // Set replaces the value.
-func (g *Gauge) Set(v float64) { g.v = v }
+func (g *Gauge) Set(v float64) { g.v.Store(math.Float64bits(v)) }
 
 // Value returns the current value.
-func (g *Gauge) Value() float64 { return g.v }
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
 
 // histBuckets spans 2^-64 .. 2^63, wide enough for picosecond times
 // expressed in seconds on one end and byte counts on the other.
@@ -49,8 +56,11 @@ const histBuckets = 128
 // Histogram is a log-bucketed histogram: bucket i counts observations in
 // [2^(i-65), 2^(i-64)), so relative error of a quantile estimate is at
 // most 2x regardless of scale — the right trade for latency-style
-// distributions that span many decades.
+// distributions that span many decades. Safe for concurrent use; because
+// every update is commutative, the final contents are independent of
+// observation order and hence of worker count.
 type Histogram struct {
+	mu       sync.Mutex
 	buckets  [histBuckets]int64
 	count    int64
 	sum      float64
@@ -74,6 +84,7 @@ func bucketOf(v float64) int {
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
 	h.buckets[bucketOf(v)]++
 	h.count++
 	h.sum += v
@@ -83,16 +94,56 @@ func (h *Histogram) Observe(v float64) {
 	if h.count == 1 || v > h.max {
 		h.max = v
 	}
+	h.mu.Unlock()
+}
+
+// Merge folds every observation recorded in src into h. This is the
+// fan-in step for per-cell histograms: because buckets, count, sum, and
+// the extremes all combine commutatively, merging cells in any order
+// yields the same histogram.
+func (h *Histogram) Merge(src *Histogram) {
+	if src == nil || h == src {
+		return
+	}
+	src.mu.Lock()
+	buckets, count, sum, min, max := src.buckets, src.count, src.sum, src.min, src.max
+	src.mu.Unlock()
+	if count == 0 {
+		return
+	}
+	h.mu.Lock()
+	for i, n := range buckets {
+		h.buckets[i] += n
+	}
+	if h.count == 0 || min < h.min {
+		h.min = min
+	}
+	if h.count == 0 || max > h.max {
+		h.max = max
+	}
+	h.count += count
+	h.sum += sum
+	h.mu.Unlock()
 }
 
 // Count returns the number of observations.
-func (h *Histogram) Count() int64 { return h.count }
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
 
 // Sum returns the sum of observations.
-func (h *Histogram) Sum() float64 { return h.sum }
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
 
 // Mean returns the exact mean (the sum is tracked outside the buckets).
 func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.count == 0 {
 		return 0
 	}
@@ -100,14 +151,25 @@ func (h *Histogram) Mean() float64 {
 }
 
 // Min and Max return the exact extremes.
-func (h *Histogram) Min() float64 { return h.min }
-func (h *Histogram) Max() float64 { return h.max }
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
 
 // Quantile returns an estimate of the q-th quantile (0 < q ≤ 1): the
 // geometric midpoint of the bucket where the cumulative count crosses q,
 // clamped to the observed [min, max]. Accurate to within the 2x bucket
 // width.
 func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if h.count == 0 {
 		return 0
 	}
@@ -134,10 +196,12 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.max
 }
 
-// Registry is a get-or-create namespace of metrics. The simulator is
-// single-threaded, so there is no locking; a registry must not be shared
-// across goroutines.
+// Registry is a get-or-create namespace of metrics. Safe for concurrent
+// use: parallel experiment cells share one registry (all primitives
+// combine commutatively), or keep private registries and fold them in
+// with Merge.
 type Registry struct {
+	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
@@ -154,6 +218,8 @@ func NewRegistry() *Registry {
 
 // Counter returns the named counter, creating it on first use.
 func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	c := r.counters[name]
 	if c == nil {
 		c = &Counter{}
@@ -164,6 +230,8 @@ func (r *Registry) Counter(name string) *Counter {
 
 // Gauge returns the named gauge, creating it on first use.
 func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	g := r.gauges[name]
 	if g == nil {
 		g = &Gauge{}
@@ -174,6 +242,8 @@ func (r *Registry) Gauge(name string) *Gauge {
 
 // Histogram returns the named histogram, creating it on first use.
 func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	h := r.hists[name]
 	if h == nil {
 		h = &Histogram{}
@@ -182,9 +252,45 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Merge folds every metric in src into r: counters add, histograms merge
+// bucket-wise, and gauges keep src's value (last-write-wins, matching
+// Set). Use it to combine per-cell registries after a parallel sweep;
+// counters and histograms merge commutatively, so any fold order gives
+// identical totals.
+func (r *Registry) Merge(src *Registry) {
+	if src == nil || r == src {
+		return
+	}
+	src.mu.Lock()
+	counters := make(map[string]int64, len(src.counters))
+	for name, c := range src.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]float64, len(src.gauges))
+	for name, g := range src.gauges {
+		gauges[name] = g.Value()
+	}
+	hists := make(map[string]*Histogram, len(src.hists))
+	for name, h := range src.hists {
+		hists[name] = h
+	}
+	src.mu.Unlock()
+	for name, v := range counters {
+		r.Counter(name).Add(v)
+	}
+	for name, v := range gauges {
+		r.Gauge(name).Set(v)
+	}
+	for name, h := range hists {
+		r.Histogram(name).Merge(h)
+	}
+}
+
 // Snapshot returns every metric (as MetricSnapshot records, see
 // schema.go), sorted by (kind, name) for determinism.
 func (r *Registry) Snapshot() []MetricSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var out []MetricSnapshot
 	for name, c := range r.counters {
 		out = append(out, MetricSnapshot{Type: "metric", Name: name, Kind: "counter", Value: float64(c.Value())})

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+)
+
+// The parallel sweep harness points many concurrently-running experiment
+// cells at one shared Collector. These tests hammer that surface from
+// many goroutines; run with -race (CI does) they are the proof that the
+// concurrent-producer contract in the package doc holds.
+
+func TestCollectorConcurrentStress(t *testing.T) {
+	var mbuf bytes.Buffer
+	c := NewCollector()
+	c.StreamMetrics(&mbuf)
+
+	const producers = 8
+	const perProducer = 200
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				c.RecordFlow(FlowRecord{
+					ID: int64(p*perProducer + i), Transport: "tcp",
+					Bytes: 1500, FCT: float64(i+1) * 1e-6, Planes: []int32{int32(p % 4)},
+				})
+				c.RecordSolver(SolverRecord{
+					Exp: "stress", Solver: "gk-fixed",
+					Phases: 3, Iterations: 17, Attempts: 1, WallSec: 1e-4,
+				})
+				c.RecordFault(FaultRecord{
+					Net: p, Event: "detect", LatencySec: 1e-3,
+				})
+				// Interleave readers with the writers: these take the same
+				// locks and must never observe torn state.
+				_ = c.FCTs()
+				_ = c.MetricsLines()
+				_ = c.TraceEvents()
+				c.Reg.Counter("stress.ticks").Inc()
+				c.Reg.Gauge("stress.last").Set(float64(i))
+				c.Reg.Histogram("stress.h").Observe(float64(i + 1))
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	const total = producers * perProducer
+	if len(c.Flows) != total || len(c.Solver) != total || len(c.Faults) != total {
+		t.Fatalf("records = %d/%d/%d, want %d each", len(c.Flows), len(c.Solver), len(c.Faults), total)
+	}
+	if got := c.Reg.Counter("flows.completed").Value(); got != total {
+		t.Errorf("flows.completed = %d, want %d", got, total)
+	}
+	if got := c.Reg.Counter("stress.ticks").Value(); got != total {
+		t.Errorf("stress.ticks = %d, want %d", got, total)
+	}
+	if got := c.Reg.Histogram("flow.fct_s").Count(); got != total {
+		t.Errorf("fct histogram count = %d, want %d", got, total)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistogramMerge checks the fan-in path gives the same histogram as
+// observing everything into one instance, regardless of split.
+func TestHistogramMerge(t *testing.T) {
+	vals := []float64{1e-6, 3e-6, 0.5, 2, 1024, 7e7}
+	var whole, a, b Histogram
+	for i, v := range vals {
+		whole.Observe(v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(&b)
+	a.Merge(nil) // no-ops must not corrupt state
+	a.Merge(&a)
+	var empty Histogram
+	a.Merge(&empty)
+
+	if a.Count() != whole.Count() || a.Sum() != whole.Sum() {
+		t.Fatalf("count/sum = %d/%g, want %d/%g", a.Count(), a.Sum(), whole.Count(), whole.Sum())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Errorf("min/max = %g/%g, want %g/%g", a.Min(), a.Max(), whole.Min(), whole.Max())
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if got, want := a.Quantile(q), whole.Quantile(q); got != want {
+			t.Errorf("quantile(%g) = %g, want %g", q, got, want)
+		}
+	}
+	// Merging into an empty histogram must adopt src's extremes, not
+	// keep the zero values.
+	var fresh Histogram
+	fresh.Merge(&whole)
+	if fresh.Min() != whole.Min() || fresh.Max() != whole.Max() {
+		t.Errorf("empty-dst merge min/max = %g/%g, want %g/%g", fresh.Min(), fresh.Max(), whole.Min(), whole.Max())
+	}
+}
+
+func TestRegistryMerge(t *testing.T) {
+	dst, src := NewRegistry(), NewRegistry()
+	dst.Counter("c").Add(2)
+	src.Counter("c").Add(3)
+	src.Counter("src-only").Add(7)
+	dst.Gauge("g").Set(1)
+	src.Gauge("g").Set(9)
+	dst.Histogram("h").Observe(1)
+	src.Histogram("h").Observe(4)
+
+	dst.Merge(src)
+	dst.Merge(nil)
+	dst.Merge(dst)
+
+	if got := dst.Counter("c").Value(); got != 5 {
+		t.Errorf("counter c = %d, want 5", got)
+	}
+	if got := dst.Counter("src-only").Value(); got != 7 {
+		t.Errorf("counter src-only = %d, want 7", got)
+	}
+	if got := dst.Gauge("g").Value(); got != 9 {
+		t.Errorf("gauge g = %g, want 9 (last-write-wins)", got)
+	}
+	h := dst.Histogram("h")
+	if h.Count() != 2 || math.Abs(h.Sum()-5) > 1e-12 {
+		t.Errorf("histogram h count/sum = %d/%g, want 2/5", h.Count(), h.Sum())
+	}
+}
+
+func TestCollectorMerge(t *testing.T) {
+	shared := NewCollector()
+	shared.RecordFlow(FlowRecord{ID: 1, FCT: 1e-3, Bytes: 10})
+	cell := NewCollector()
+	cell.RecordFlow(FlowRecord{ID: 2, FCT: 2e-3, Bytes: 20})
+	cell.RecordSolver(SolverRecord{Exp: "x", Phases: 1, Iterations: 5, Attempts: 1})
+	cell.RecordFault(FaultRecord{Event: "inject"})
+
+	shared.Merge(cell)
+	shared.Merge(nil)
+	shared.Merge(shared)
+
+	if len(shared.Flows) != 2 || len(shared.Solver) != 1 || len(shared.Faults) != 1 {
+		t.Fatalf("records = %d/%d/%d, want 2/1/1", len(shared.Flows), len(shared.Solver), len(shared.Faults))
+	}
+	if shared.Flows[1].ID != 2 {
+		t.Errorf("merged flow order lost: %+v", shared.Flows)
+	}
+	if got := shared.Reg.Counter("flows.completed").Value(); got != 2 {
+		t.Errorf("merged flows.completed = %d, want 2", got)
+	}
+	if got := shared.Reg.Counter("faults.injected").Value(); got != 1 {
+		t.Errorf("merged faults.injected = %d, want 1", got)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"pnet/internal/metrics"
 	"pnet/internal/obs"
@@ -91,6 +92,12 @@ type RunSummary struct {
 	Exp           string `json:"exp,omitempty"`
 	Scale         string `json:"scale,omitempty"`
 	Seed          int64  `json:"seed,omitempty"`
+	// Workers and GOMAXPROCS record the parallelism the run executed
+	// with, so BENCH trajectories can attribute wall-clock movements to
+	// scheduling rather than code. Neither affects any gated metric:
+	// results are bit-identical across worker counts.
+	Workers    int `json:"workers,omitempty"`
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
 
 	Flows       int64   `json:"flows"`
 	FlowBytes   int64   `json:"flow_bytes"`
@@ -122,6 +129,10 @@ type Meta struct {
 	Scale   string
 	Seed    int64
 	Created string // RFC3339; stamped by the caller, never by this package
+	// Workers and GOMAXPROCS attribute the run's parallelism (0 = not
+	// recorded, keeping older baselines byte-compatible).
+	Workers    int
+	GOMAXPROCS int
 }
 
 // agg accumulates telemetry into a RunSummary; both construction paths
@@ -228,6 +239,8 @@ func (a *agg) summary(m Meta) RunSummary {
 		Exp:           m.Exp,
 		Scale:         m.Scale,
 		Seed:          m.Seed,
+		Workers:       m.Workers,
+		GOMAXPROCS:    m.GOMAXPROCS,
 		Flows:         int64(len(a.fcts)),
 		FlowBytes:     a.bytes,
 		Retransmits:   a.retrans,
@@ -308,23 +321,47 @@ func (a *agg) summary(m Meta) RunSummary {
 // bounded memory however long the run. This is what `pnetbench -report`
 // uses; `-exp all` would otherwise hold tens of millions of link
 // samples live.
-type Aggregator struct{ a *agg }
+//
+// An Aggregator accepts samples from concurrently-running networks:
+// every reduction it performs (sums, per-(net,key) last-value maps,
+// histogram buckets, max sim time) is commutative, so the summary it
+// produces is independent of sample arrival order — and therefore of
+// worker count.
+type Aggregator struct {
+	mu sync.Mutex
+	a  *agg
+}
 
 // NewAggregator returns an empty aggregator.
 func NewAggregator() *Aggregator { return &Aggregator{a: newAgg()} }
 
 // LinkSample implements obs.SampleSink.
-func (x *Aggregator) LinkSample(net int, s obs.LinkSample) { x.a.addLink(s.Record(net)) }
+func (x *Aggregator) LinkSample(net int, s obs.LinkSample) {
+	x.mu.Lock()
+	x.a.addLink(s.Record(net))
+	x.mu.Unlock()
+}
 
 // PlaneSample implements obs.SampleSink.
-func (x *Aggregator) PlaneSample(net int, s obs.PlaneSample) { x.a.addPlane(s.Record(net)) }
+func (x *Aggregator) PlaneSample(net int, s obs.PlaneSample) {
+	x.mu.Lock()
+	x.a.addPlane(s.Record(net))
+	x.mu.Unlock()
+}
 
 // EngineSample implements obs.SampleSink.
-func (x *Aggregator) EngineSample(net int, s obs.EngineSample) { x.a.addEngine(s.Record(net)) }
+func (x *Aggregator) EngineSample(net int, s obs.EngineSample) {
+	x.mu.Lock()
+	x.a.addEngine(s.Record(net))
+	x.mu.Unlock()
+}
 
 // Summarize folds the collector's flow and solver records in and
-// returns the run summary. Call once, when the run is over.
+// returns the run summary. Call once, when the run is over and every
+// producer has finished.
 func (x *Aggregator) Summarize(c *obs.Collector, m Meta) RunSummary {
+	x.mu.Lock()
+	defer x.mu.Unlock()
 	for _, f := range c.Flows {
 		x.a.addFlow(f)
 	}

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"pnet/internal/graph"
+	"pnet/internal/par"
 )
 
 // Commodity is a traffic demand between two nodes.
@@ -28,18 +29,29 @@ type Commodity struct {
 // returned slice has one single-element path list per commodity; pairs
 // with no path get an empty list.
 func ECMPPaths(g *graph.Graph, cs []Commodity, seed uint64) [][]graph.Path {
-	dags := map[graph.NodeID][][]graph.LinkID{}
-	out := make([][]graph.Path, len(cs))
-	for i, c := range cs {
-		dag, ok := dags[c.Dst]
-		if !ok {
-			dag = graph.ShortestDAG(g, c.Dst)
-			dags[c.Dst] = dag
+	// Per-destination DAG builds are the expensive part and independent of
+	// each other: fan them out, then walk commodities against the shared
+	// read-only DAG map. Results are indexed by commodity, so worker count
+	// never changes the output.
+	var dsts []graph.NodeID
+	seen := map[graph.NodeID]int{}
+	for _, c := range cs {
+		if _, ok := seen[c.Dst]; !ok {
+			seen[c.Dst] = len(dsts)
+			dsts = append(dsts, c.Dst)
 		}
+	}
+	dags := par.Map(len(dsts), 0, func(i int) [][]graph.LinkID {
+		return graph.ShortestDAG(g, dsts[i])
+	})
+	out := make([][]graph.Path, len(cs))
+	par.Do(len(cs), 0, func(i int) {
+		c := cs[i]
+		dag := dags[seen[c.Dst]]
 		if p, ok := graph.ECMPPath(g, dag, c.Src, c.Dst, seed+uint64(i)*0x9e3779b97f4a7c15); ok {
 			out[i] = []graph.Path{p}
 		}
-	}
+	})
 	return out
 }
 
@@ -51,39 +63,29 @@ func ECMPPaths(g *graph.Graph, cs []Commodity, seed uint64) [][]graph.Path {
 // connection should spread its subflows over planes rather than exhaust
 // one plane's path diversity first.
 func KSPPaths(g *graph.Graph, cs []Commodity, k int) [][]graph.Path {
-	masks := planeMasks(g)
+	// KSPPaths is deterministic per (src,dst): commodity lists with
+	// duplicate pairs (permutation workloads, repeated demands) would redo
+	// Yen's algorithm per duplicate. Deduplicate first, run Yen once per
+	// unique pair in parallel, then fan the shared result back out.
+	masks := g.PlaneMasks()
+	type pair struct{ src, dst graph.NodeID }
+	var uniq []pair
+	idx := map[pair]int{}
+	for _, c := range cs {
+		p := pair{c.Src, c.Dst}
+		if _, ok := idx[p]; !ok {
+			idx[p] = len(uniq)
+			uniq = append(uniq, p)
+		}
+	}
+	paths := par.Map(len(uniq), 0, func(i int) []graph.Path {
+		return kspAcrossPlanes(g, masks, uniq[i].src, uniq[i].dst, k)
+	})
 	out := make([][]graph.Path, len(cs))
 	for i, c := range cs {
-		out[i] = kspAcrossPlanes(g, masks, c.Src, c.Dst, k)
+		out[i] = paths[idx[pair{c.Src, c.Dst}]]
 	}
 	return out
-}
-
-// planeMasks returns, in increasing plane order, the banned-link masks
-// that confine a path search to each plane (links of other planes are
-// banned; untagged plane -1 links are allowed everywhere). The slice
-// ordering keeps all derived path computations deterministic.
-func planeMasks(g *graph.Graph) [][]bool {
-	maxPlane := int32(-1)
-	for i := 0; i < g.NumLinks(); i++ {
-		if p := g.Link(graph.LinkID(i)).Plane; p > maxPlane {
-			maxPlane = p
-		}
-	}
-	if maxPlane < 0 {
-		return nil
-	}
-	masks := make([][]bool, maxPlane+1)
-	for p := int32(0); p <= maxPlane; p++ {
-		mask := make([]bool, g.NumLinks())
-		for i := 0; i < g.NumLinks(); i++ {
-			if q := g.Link(graph.LinkID(i)).Plane; q >= 0 && q != p {
-				mask[i] = true
-			}
-		}
-		masks[p] = mask
-	}
-	return masks
 }
 
 func kspAcrossPlanes(g *graph.Graph, masks [][]bool, src, dst graph.NodeID, k int) []graph.Path {
@@ -111,11 +113,12 @@ func kspAcrossPlanes(g *graph.Graph, masks [][]bool, src, dst graph.NodeID, k in
 // Commodity i derives its randomness from seed+i, so runs are
 // reproducible.
 func KSPPathsSeeded(g *graph.Graph, cs []Commodity, k int, seed int64) [][]graph.Path {
-	masks := planeMasks(g)
+	masks := g.PlaneMasks()
 	out := make([][]graph.Path, len(cs))
-	for i, c := range cs {
+	par.Do(len(cs), 0, func(i int) {
+		c := cs[i]
 		out[i] = kspSeededOne(g, masks, c.Src, c.Dst, k, seed+int64(i)*0x9e3779b9)
-	}
+	})
 	return out
 }
 
@@ -202,11 +205,12 @@ func interleaveGroup(g *graph.Graph, group []graph.Path) []graph.Path {
 // plane with the fewest hops for each pair.
 func SinglePath(g *graph.Graph, cs []Commodity) [][]graph.Path {
 	out := make([][]graph.Path, len(cs))
-	for i, c := range cs {
+	par.Do(len(cs), 0, func(i int) {
+		c := cs[i]
 		if p, ok := graph.ShortestPath(g, c.Src, c.Dst); ok {
 			out[i] = []graph.Path{p}
 		}
-	}
+	})
 	return out
 }
 
