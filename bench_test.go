@@ -331,6 +331,76 @@ func BenchmarkParallelKSP(b *testing.B) {
 	}
 }
 
+// --- Solver hot-path benchmarks ------------------------------------------
+//
+// These isolate the zero-allocation solver path introduced with the CSR
+// frozen view (DESIGN.md "Solver hot path"): the Free solve end to end,
+// one warm oracle tree, and serial Yen's on the frozen view. FreeSolve
+// and KSPFrozen are the before/after headline numbers quoted in the
+// README; OracleTree's allocs/op is the regression guard for the scratch
+// space (always gated by the perf gate).
+
+// BenchmarkFreeSolve measures the unrestricted Garg–Könemann solve on the
+// Figure 7 instance shape: rack-level all-to-all on a 2-plane Jellyfish,
+// where the Dijkstra oracle and its path caches dominate.
+func BenchmarkFreeSolve(b *testing.B) {
+	set := topo.JellyfishSet(12, 3, 2, 2, 100, 7)
+	g, cs := workload.RackAllToAll(set.ParallelHomo, 10)
+	var lambda float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lambda = mcf.Free(g, cs, mcf.Options{Epsilon: 0.08}).Lambda
+	}
+	b.StopTimer()
+	if lambda == 0 {
+		b.Fatal("solve failed")
+	}
+	b.ReportMetric(lambda, "lambda")
+}
+
+// BenchmarkOracleTree measures one warm full-tree Dijkstra on the frozen
+// view — the unit of work behind every oracle refresh. allocs/op must be
+// exactly 0 once the scratch space is warm.
+func BenchmarkOracleTree(b *testing.B) {
+	tp := topo.FatTreeSet(8, 2, 100).ParallelHomo
+	fz := tp.G.Frozen()
+	r := rng(3)
+	w := make([]float64, fz.NumLinks())
+	for i := range w {
+		w[i] = 0.5 + r.Float64()
+	}
+	s := graph.NewScratch()
+	fz.Dijkstra(s, 0, w, -1) // warm: grow dist/parent/heap
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fz.Dijkstra(s, 0, w, -1)
+	}
+	b.StopTimer()
+	if !s.Reached(graph.NodeID(fz.NumNodes() - 1)) {
+		b.Fatal("tree incomplete")
+	}
+}
+
+// BenchmarkKSPFrozen measures serial Yen's algorithm (k=8) over 32
+// commodities on the frozen view — the spur-search loop that the CSR BFS
+// and pooled scratch accelerate, without the parallel fan-out of
+// BenchmarkParallelKSP masking per-search cost.
+func BenchmarkKSPFrozen(b *testing.B) {
+	tp := topo.FatTreeSet(8, 2, 100).ParallelHomo
+	cs := workload.PermutationCommodities(tp, 0, rng(7))[:32]
+	par.SetLimit(1)
+	defer par.SetLimit(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		paths := route.KSPPaths(tp.G, cs, 8)
+		if len(paths) != len(cs) {
+			b.Fatal("missing path sets")
+		}
+	}
+}
+
 func rng(seed int64) *rand.Rand {
 	return rand.New(rand.NewSource(seed))
 }

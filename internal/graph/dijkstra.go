@@ -7,9 +7,12 @@ import "container/heap"
 // Down links and transit through non-transit nodes are excluded, as in the
 // unweighted algorithms. ok is false when dst is unreachable.
 //
-// This is the oracle used by the Garg–Könemann max-concurrent-flow
-// approximation, which re-runs Dijkstra under exponentially updated link
-// lengths.
+// This is the reference implementation of the Garg–Könemann oracle's
+// shortest-path search. The solver hot path uses Frozen.Dijkstra, which
+// is bit-compatible with this function (same relaxation order, same
+// equal-distance pop order) but allocation-free; the equivalence is
+// enforced by tests in internal/graph and internal/mcf. Keep the two in
+// lockstep when touching either.
 func WeightedShortestPath(g *Graph, src, dst NodeID, weight []float64) (p Path, dist float64, ok bool) {
 	if src == dst {
 		return Path{}, 0, false

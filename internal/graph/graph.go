@@ -49,6 +49,12 @@ type Graph struct {
 	out     [][]LinkID
 	in      [][]LinkID
 
+	// version counts mutations (node/link growth, up/capacity/transit
+	// changes). Derived snapshots cache against it; a stale version
+	// triggers a rebuild on next access. Mutators run single-threaded by
+	// contract — only read-only access may be concurrent.
+	version uint64
+
 	// Plane-mask cache (see PlaneMasks). Guarded by masksMu so that
 	// concurrent path computations against one shared read-only graph —
 	// the parallel-sweep execution model — build the masks exactly once.
@@ -56,6 +62,17 @@ type Graph struct {
 	masks      [][]bool
 	masksValid bool
 	masksLinks int // NumLinks when masks was computed; invalidates on growth
+
+	// Frozen CSR snapshot cache (see Frozen), keyed by version.
+	frozenMu      sync.Mutex
+	frozen        *Frozen
+	frozenVersion uint64
+
+	// Reverse-twin cache (see ReverseLink), invalidated on link growth
+	// like the plane masks — up/capacity changes never affect twins.
+	twinMu    sync.Mutex
+	twin      []LinkID
+	twinLinks int
 }
 
 // New returns an empty graph with n nodes, all transit-capable.
@@ -77,6 +94,7 @@ func newBools(n int, v bool) []bool {
 
 // AddNode appends a node and returns its ID.
 func (g *Graph) AddNode(transit bool) NodeID {
+	g.version++
 	g.transit = append(g.transit, transit)
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
@@ -89,6 +107,7 @@ func (g *Graph) AddLink(src, dst NodeID, capacity float64, plane int32) LinkID {
 	if src == dst {
 		panic(fmt.Sprintf("graph: self-loop at node %d", src))
 	}
+	g.version++
 	id := LinkID(len(g.links))
 	g.links = append(g.links, Link{
 		ID: id, Src: src, Dst: dst, Capacity: capacity, Plane: plane, Up: true,
@@ -135,20 +154,29 @@ func (g *Graph) InLinks(n NodeID) []LinkID { return g.in[n] }
 func (g *Graph) Transit(n NodeID) bool { return g.transit[n] }
 
 // SetTransit sets the transit capability of node n.
-func (g *Graph) SetTransit(n NodeID, transit bool) { g.transit[n] = transit }
+func (g *Graph) SetTransit(n NodeID, transit bool) {
+	g.version++
+	g.transit[n] = transit
+}
 
 // SetLinkUp sets the administrative state of a link.
 func (g *Graph) SetLinkUp(id LinkID, up bool) {
 	g.checkLink(id)
+	g.version++
 	g.links[id].Up = up
 }
 
 // SetCapacity overwrites the capacity of a link. Used to derive "serial
 // high-bandwidth" networks from their low-bandwidth twins.
-func (g *Graph) SetCapacity(id LinkID, capacity float64) { g.links[id].Capacity = capacity }
+func (g *Graph) SetCapacity(id LinkID, capacity float64) {
+	g.checkLink(id)
+	g.version++
+	g.links[id].Capacity = capacity
+}
 
 // ScaleCapacities multiplies every link capacity by f.
 func (g *Graph) ScaleCapacities(f float64) {
+	g.version++
 	for i := range g.links {
 		g.links[i].Capacity *= f
 	}
@@ -216,17 +244,53 @@ func (g *Graph) PlaneMasks() [][]bool {
 
 // ReverseLink returns the link running opposite to id (same endpoints and
 // plane, reversed direction). ok is false if none exists. Topologies built
-// with AddDuplex always have one; transports use it to route ACKs back
-// along a data path.
+// with AddDuplex always have one; transports call it once per hop of
+// every ACK-route build, so the twin table is precomputed: the first call
+// builds it in one O(links) pass and later calls are a single array load.
+// The cache is invalidated when links are added (twins depend only on
+// endpoints and plane tags, which never change after AddLink) and is safe
+// to build and read concurrently, like PlaneMasks.
 func (g *Graph) ReverseLink(id LinkID) (LinkID, bool) {
-	l := g.links[id]
-	for _, rid := range g.out[l.Dst] {
-		r := g.links[rid]
-		if r.Dst == l.Src && r.Plane == l.Plane {
-			return rid, true
+	g.checkLink(id)
+	rid := g.twins()[id]
+	return rid, rid >= 0
+}
+
+// twins returns the cached reverse-twin table, building it if stale.
+// twin[l] is the lowest-numbered link with reversed endpoints and the
+// same plane as l, or -1 — "lowest-numbered" matches the historical
+// linear scan, which walked the out-links of l's destination in link
+// insertion order.
+func (g *Graph) twins() []LinkID {
+	g.twinMu.Lock()
+	defer g.twinMu.Unlock()
+	if g.twin != nil && g.twinLinks == len(g.links) {
+		return g.twin
+	}
+	type key struct {
+		src, dst NodeID
+		plane    int32
+	}
+	first := make(map[key]LinkID, len(g.links))
+	for i := range g.links {
+		l := &g.links[i]
+		k := key{l.Src, l.Dst, l.Plane}
+		if _, ok := first[k]; !ok {
+			first[k] = LinkID(i)
 		}
 	}
-	return 0, false
+	twin := make([]LinkID, len(g.links))
+	for i := range g.links {
+		l := &g.links[i]
+		if rid, ok := first[key{l.Dst, l.Src, l.Plane}]; ok {
+			twin[i] = rid
+		} else {
+			twin[i] = -1
+		}
+	}
+	g.twin = twin
+	g.twinLinks = len(g.links)
+	return twin
 }
 
 // ReversePath returns the hop-by-hop reverse of p. ok is false if any link

@@ -1,7 +1,5 @@
 package graph
 
-import "container/heap"
-
 // KShortestPaths returns up to k loopless shortest paths from src to dst in
 // increasing hop-count order, using Yen's algorithm over unit link weights.
 // Ties between equal-length paths are broken deterministically by link
@@ -18,24 +16,32 @@ func KShortestPaths(g *Graph, src, dst NodeID, k int) []Path {
 // KShortestPathsMasked is KShortestPaths restricted to links where
 // banned[link] is false. banned may be nil. It is used to confine the
 // search to a single dataplane.
+//
+// The spur searches — the hot loop of Yen's algorithm — run on the CSR
+// frozen view with one pooled scratch space reused across every spur, so
+// the per-spur cost is a cache-linear BFS with no per-search allocation.
 func KShortestPathsMasked(g *Graph, src, dst NodeID, k int, banned []bool) []Path {
-	if k <= 0 {
+	if k <= 0 || src == dst {
 		return nil
 	}
+	fz := g.Frozen()
+	s := GetScratch()
+	defer PutScratch(s)
+
 	baseline := banned
 	if baseline == nil {
-		baseline = make([]bool, g.NumLinks())
+		baseline = make([]bool, fz.NumLinks())
 	}
-	first, ok := shortestMasked(g, src, dst, baseline, nil)
-	if !ok {
+	if !fz.BFS(s, src, dst, baseline, nil) {
 		return nil
 	}
+	first := fz.PathTo(s, src, dst)
 	result := []Path{first}
 	seen := map[string]bool{first.key(): true}
 	var candidates candidateHeap
 
 	bannedLinks := append([]bool(nil), baseline...)
-	bannedNodes := make([]bool, g.NumNodes())
+	bannedNodes := make([]bool, fz.NumNodes())
 
 	for len(result) < k {
 		prev := result[len(result)-1]
@@ -52,8 +58,8 @@ func KShortestPathsMasked(g *Graph, src, dst NodeID, k int, banned []bool) []Pat
 				}
 			}
 			for _, c := range candidates {
-				if hasPrefix(c.path.Links, rootLinks) && len(c.path.Links) > i {
-					bannedLinks[c.path.Links[i]] = true
+				if hasPrefix(c.Links, rootLinks) && len(c.Links) > i {
+					bannedLinks[c.Links[i]] = true
 				}
 			}
 			// Ban root-path nodes (except the spur node) to keep loopless.
@@ -61,14 +67,14 @@ func KShortestPathsMasked(g *Graph, src, dst NodeID, k int, banned []bool) []Pat
 				bannedNodes[n] = true
 			}
 
-			if spur, ok := shortestMasked(g, spurNode, dst, bannedLinks, bannedNodes); ok {
-				links := make([]LinkID, 0, len(rootLinks)+len(spur.Links))
+			if fz.BFS(s, spurNode, dst, bannedLinks, bannedNodes) {
+				links := make([]LinkID, 0, len(rootLinks)+8)
 				links = append(links, rootLinks...)
-				links = append(links, spur.Links...)
+				links = fz.AppendPath(s, spurNode, dst, links)
 				cand := Path{Links: links}
 				if key := cand.key(); !seen[key] {
 					seen[key] = true
-					heap.Push(&candidates, candidate{path: cand})
+					candidates.push(cand)
 				}
 			}
 
@@ -77,10 +83,10 @@ func KShortestPathsMasked(g *Graph, src, dst NodeID, k int, banned []bool) []Pat
 				bannedNodes[j] = false
 			}
 		}
-		if candidates.Len() == 0 {
+		if len(candidates) == 0 {
 			break
 		}
-		result = append(result, heap.Pop(&candidates).(candidate).path)
+		result = append(result, candidates.pop())
 	}
 	return result
 }
@@ -97,73 +103,76 @@ func hasPrefix(links, prefix []LinkID) bool {
 	return true
 }
 
-// shortestMasked is BFS shortest path honoring banned links and nodes.
-// Either mask may be nil.
-func shortestMasked(g *Graph, src, dst NodeID, bannedLinks, bannedNodes []bool) (Path, bool) {
-	if src == dst {
-		return Path{}, false
-	}
-	parent := make([]LinkID, g.NumNodes())
-	for i := range parent {
-		parent[i] = -1
-	}
-	visited := make([]bool, g.NumNodes())
-	visited[src] = true
-	queue := []NodeID{src}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		if u != src && !g.Transit(u) {
-			continue
-		}
-		for _, id := range g.OutLinks(u) {
-			if bannedLinks != nil && bannedLinks[id] {
-				continue
-			}
-			l := g.Link(id)
-			if !l.Up || visited[l.Dst] {
-				continue
-			}
-			if bannedNodes != nil && bannedNodes[l.Dst] {
-				continue
-			}
-			visited[l.Dst] = true
-			parent[l.Dst] = id
-			if l.Dst == dst {
-				return tracePath(g, parent, src, dst), true
-			}
-			queue = append(queue, l.Dst)
-		}
-	}
-	return Path{}, false
-}
+// candidateHeap is an interface-free 4-ary min-heap of candidate paths,
+// mirroring the sim engine's eventHeap and the scratch-space spHeap: no
+// container/heap boxing, no allocation per push. Unlike Dijkstra's
+// distance heap, the comparison here is a strict total order on distinct
+// paths (length, then link sequence), so the pop sequence is the sorted
+// order regardless of heap arity — switching from container/heap's
+// binary layout cannot change which candidate is promoted next.
+type candidateHeap []Path
 
-type candidate struct {
-	path Path
-}
-
-type candidateHeap []candidate
-
-func (h candidateHeap) Len() int { return len(h) }
-func (h candidateHeap) Less(i, j int) bool {
-	if len(h[i].path.Links) != len(h[j].path.Links) {
-		return len(h[i].path.Links) < len(h[j].path.Links)
+// pathLess orders candidates by hop count, ties broken by link sequence.
+func pathLess(a, b Path) bool {
+	if len(a.Links) != len(b.Links) {
+		return len(a.Links) < len(b.Links)
 	}
-	// Deterministic tie-break on link sequence.
-	a, b := h[i].path.Links, h[j].path.Links
-	for x := range a {
-		if a[x] != b[x] {
-			return a[x] < b[x]
+	for x := range a.Links {
+		if a.Links[x] != b.Links[x] {
+			return a.Links[x] < b.Links[x]
 		}
 	}
 	return false
 }
-func (h candidateHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *candidateHeap) Push(x any)   { *h = append(*h, x.(candidate)) }
-func (h *candidateHeap) Pop() (out any) {
-	old := *h
-	n := len(old)
-	out = old[n-1]
-	*h = old[:n-1]
-	return
+
+func (h *candidateHeap) push(p Path) {
+	*h = append(*h, p)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !pathLess(p, s[parent]) {
+			break
+		}
+		s[i] = s[parent]
+		i = parent
+	}
+	s[i] = p
+}
+
+func (h *candidateHeap) pop() Path {
+	s := *h
+	top := s[0]
+	last := s[len(s)-1]
+	s[len(s)-1] = Path{}
+	s = s[:len(s)-1]
+	*h = s
+	if len(s) == 0 {
+		return top
+	}
+	// Sift the former last element down from the root.
+	i := 0
+	for {
+		child := 4*i + 1
+		if child >= len(s) {
+			break
+		}
+		end := child + 4
+		if end > len(s) {
+			end = len(s)
+		}
+		best := child
+		for c := child + 1; c < end; c++ {
+			if pathLess(s[c], s[best]) {
+				best = c
+			}
+		}
+		if !pathLess(s[best], last) {
+			break
+		}
+		s[i] = s[best]
+		i = best
+	}
+	s[i] = last
+	return top
 }

@@ -4,25 +4,16 @@ package graph
 // node, or -1 where no path exists. Non-transit nodes other than src are
 // never expanded, so distances "through" a host are not reported.
 func HopDistances(g *Graph, src NodeID) []int {
-	dist := make([]int, g.NumNodes())
+	fz := g.Frozen()
+	s := GetScratch()
+	defer PutScratch(s)
+	fz.BFS(s, src, -1, nil, nil)
+	dist := make([]int, fz.NumNodes())
 	for i := range dist {
-		dist[i] = -1
-	}
-	dist[src] = 0
-	queue := []NodeID{src}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		if u != src && !g.Transit(u) {
-			continue // hosts receive but do not forward
-		}
-		for _, id := range g.OutLinks(u) {
-			l := g.Link(id)
-			if !l.Up || dist[l.Dst] >= 0 {
-				continue
-			}
-			dist[l.Dst] = dist[u] + 1
-			queue = append(queue, l.Dst)
+		if s.Reached(NodeID(i)) {
+			dist[i] = int(s.Dist(NodeID(i)))
+		} else {
+			dist[i] = -1
 		}
 	}
 	return dist
@@ -34,35 +25,17 @@ func ShortestPath(g *Graph, src, dst NodeID) (p Path, ok bool) {
 	if src == dst {
 		return Path{}, false
 	}
-	parent := make([]LinkID, g.NumNodes())
-	for i := range parent {
-		parent[i] = -1
+	fz := g.Frozen()
+	s := GetScratch()
+	defer PutScratch(s)
+	if !fz.BFS(s, src, dst, nil, nil) {
+		return Path{}, false
 	}
-	visited := make([]bool, g.NumNodes())
-	visited[src] = true
-	queue := []NodeID{src}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		if u != src && !g.Transit(u) {
-			continue
-		}
-		for _, id := range g.OutLinks(u) {
-			l := g.Link(id)
-			if !l.Up || visited[l.Dst] {
-				continue
-			}
-			visited[l.Dst] = true
-			parent[l.Dst] = id
-			if l.Dst == dst {
-				return tracePath(g, parent, src, dst), true
-			}
-			queue = append(queue, l.Dst)
-		}
-	}
-	return Path{}, false
+	return fz.PathTo(s, src, dst), true
 }
 
+// tracePath rebuilds a path from a parent-link array filled by a
+// *Graph-based search.
 func tracePath(g *Graph, parent []LinkID, src, dst NodeID) Path {
 	var rev []LinkID
 	for n := dst; n != src; {
@@ -81,8 +54,9 @@ func tracePath(g *Graph, parent []LinkID, src, dst NodeID) Path {
 // some shortest path from u to dst. This is the next-hop set an ECMP
 // router would install for destination dst.
 func ShortestDAG(g *Graph, dst NodeID) [][]LinkID {
+	fz := g.Frozen()
 	// BFS backwards from dst over in-links.
-	dist := make([]int, g.NumNodes())
+	dist := make([]int, fz.NumNodes())
 	for i := range dist {
 		dist[i] = -1
 	}
@@ -91,38 +65,37 @@ func ShortestDAG(g *Graph, dst NodeID) [][]LinkID {
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for _, id := range g.InLinks(u) {
-			l := g.Link(id)
-			if !l.Up {
+		for _, id := range fz.InLinks(u) {
+			if !fz.linkUp[id] {
 				continue
 			}
 			// l.Src forwards into u; l.Src must be allowed to forward
 			// (transit) unless it is the origin of a path, which is always
 			// permitted, so no transit check on l.Src here. But u must be
 			// transit to extend the path beyond it, unless u == dst.
-			if u != dst && !g.Transit(u) {
+			if u != dst && !fz.transit[u] {
 				continue
 			}
-			if dist[l.Src] < 0 {
-				dist[l.Src] = dist[u] + 1
-				queue = append(queue, l.Src)
+			if src := fz.linkSrc[id]; dist[src] < 0 {
+				dist[src] = dist[u] + 1
+				queue = append(queue, src)
 			}
 		}
 	}
-	dag := make([][]LinkID, g.NumNodes())
-	for u := 0; u < g.NumNodes(); u++ {
+	dag := make([][]LinkID, fz.NumNodes())
+	for u := 0; u < fz.NumNodes(); u++ {
 		if dist[u] <= 0 {
 			continue
 		}
-		for _, id := range g.OutLinks(NodeID(u)) {
-			l := g.Link(id)
-			if !l.Up {
+		for _, id := range fz.OutLinks(NodeID(u)) {
+			if !fz.linkUp[id] {
 				continue
 			}
-			if l.Dst != dst && !g.Transit(l.Dst) {
+			v := fz.linkDst[id]
+			if v != dst && !fz.transit[v] {
 				continue
 			}
-			if d := dist[l.Dst]; d >= 0 && d == dist[u]-1 {
+			if d := dist[v]; d >= 0 && d == dist[u]-1 {
 				dag[u] = append(dag[u], id)
 			}
 		}
@@ -138,6 +111,7 @@ func ECMPPath(g *Graph, dag [][]LinkID, src, dst NodeID, flowHash uint64) (Path,
 	if src == dst {
 		return Path{}, false
 	}
+	fz := g.Frozen()
 	var links []LinkID
 	u := src
 	h := flowHash
@@ -149,7 +123,7 @@ func ECMPPath(g *Graph, dag [][]LinkID, src, dst NodeID, flowHash uint64) (Path,
 		h = splitmix64(h)
 		id := next[int(h%uint64(len(next)))]
 		links = append(links, id)
-		u = g.Link(id).Dst
+		u = fz.linkDst[id]
 	}
 	return Path{Links: links}, true
 }

@@ -117,6 +117,13 @@ func Pinned(g *graph.Graph, cs []route.Commodity, paths [][]graph.Path) Result {
 // FixedPaths computes max concurrent flow where each commodity may split
 // across its given path set, using Garg–Könemann. Commodities with an
 // empty path set make the instance infeasible (λ=0).
+//
+// The oracle scans a precomputed flat path→link incidence (CSR layout:
+// per-commodity path offsets into one contiguous link array) instead of
+// re-walking the [][]Path slices, so a warm oracle call is a single
+// cache-linear sweep with zero allocations. Tie-breaking (first path
+// with the strictly smallest length wins, in the caller's path order)
+// is unchanged.
 func FixedPaths(g *graph.Graph, cs []route.Commodity, paths [][]graph.Path, opts Options) Result {
 	if len(paths) != len(cs) {
 		panic("mcf: paths/commodities length mismatch")
@@ -126,81 +133,168 @@ func FixedPaths(g *graph.Graph, cs []route.Commodity, paths [][]graph.Path, opts
 			return result(0, cs, countEmpty(paths))
 		}
 	}
-	oracle := func(j int, length []float64) (graph.Path, bool) {
-		best, bestLen := -1, math.Inf(1)
-		for pi, p := range paths[j] {
-			var l float64
-			for _, e := range p.Links {
-				l += length[e]
-			}
-			if l < bestLen {
-				best, bestLen = pi, l
-			}
-		}
-		return paths[j][best], true
-	}
-	lambda, stats := adaptiveGK(g, cs, oracle, opts.epsilon())
+	o := newFixedOracle(paths)
+	lambda, stats := adaptiveGK(g.Frozen(), cs, o.pick, opts.epsilon())
 	r := result(lambda, cs, 0)
 	r.Stats = stats
 	return r
 }
 
+// fixedOracle holds the flattened path→link incidence for a FixedPaths
+// solve. Commodity j's paths are pathStart[commStart[j]:commStart[j+1]+1]
+// offsets into links.
+type fixedOracle struct {
+	paths     [][]graph.Path // originals, returned to the solver
+	commStart []int32        // len(cs)+1, indexes pathStart
+	pathStart []int32        // len(total paths)+1, indexes links
+	links     []graph.LinkID // all path links, concatenated
+}
+
+func newFixedOracle(paths [][]graph.Path) *fixedOracle {
+	np, nl := 0, 0
+	for _, ps := range paths {
+		np += len(ps)
+		for _, p := range ps {
+			nl += len(p.Links)
+		}
+	}
+	o := &fixedOracle{
+		paths:     paths,
+		commStart: make([]int32, len(paths)+1),
+		pathStart: make([]int32, 0, np+1),
+		links:     make([]graph.LinkID, 0, nl),
+	}
+	for j, ps := range paths {
+		o.commStart[j] = int32(len(o.pathStart))
+		for _, p := range ps {
+			o.pathStart = append(o.pathStart, int32(len(o.links)))
+			o.links = append(o.links, p.Links...)
+		}
+	}
+	o.commStart[len(paths)] = int32(len(o.pathStart))
+	o.pathStart = append(o.pathStart, int32(len(o.links)))
+	return o
+}
+
+func (o *fixedOracle) pick(j int, length []float64) (graph.Path, bool) {
+	lo, hi := o.commStart[j], o.commStart[j+1]
+	best, bestLen := int32(-1), math.Inf(1)
+	for p := lo; p < hi; p++ {
+		var l float64
+		for _, e := range o.links[o.pathStart[p]:o.pathStart[p+1]] {
+			l += length[e]
+		}
+		if l < bestLen {
+			best, bestLen = p, l
+		}
+	}
+	return o.paths[j][best-lo], true
+}
+
 // Free computes max concurrent flow with no path restriction ("ideal"
-// capacity), using Garg–Könemann with a lazy Dijkstra shortest-path oracle.
+// capacity), using Garg–Könemann with a lazy Dijkstra shortest-path
+// oracle on the CSR frozen view.
+//
+// Source amortization happens where it cannot perturb the solve: the
+// reachability probe runs one BFS sweep per unique source (serving every
+// commodity that shares it) instead of one per commodity, and all of a
+// solve's Dijkstra refreshes share one scratch space, so a warm refresh
+// allocates nothing. The refreshes themselves stay per-(consult,
+// commodity): GK interleaves an augmentation between any two oracle
+// consults, so two same-source commodities never see the same length
+// vector, and batching their cache refreshes from one tree would change
+// which of several equal-length shortest paths each one augments — see
+// DESIGN.md "Solver hot path" for why that breaks trajectory
+// reproducibility.
 func Free(g *graph.Graph, cs []route.Commodity, opts Options) Result {
-	cache := make([]cachedPath, len(cs))
+	fz := g.Frozen()
 	eps := opts.epsilon()
-	oracle := func(j int, length []float64) (graph.Path, bool) {
-		c := &cache[j]
-		if c.valid {
-			cur := pathLen(c.path, length)
-			if cur <= (1+eps)*c.lenAtCompute {
-				c.lenAtCompute = math.Min(c.lenAtCompute, cur)
-				return c.path, true
+	o := &freeOracle{fz: fz, cs: cs, eps: eps,
+		scratch: graph.NewScratch(), cache: make([]freeCache, len(cs))}
+	// Probe reachability first so unroutable commodities are reported
+	// rather than looping forever. One full BFS per unique source covers
+	// all its commodities — reachability is a property of the tree, so
+	// this is identical to per-commodity probes — and the per-source
+	// sweeps only read the frozen view, so they fan out across cores.
+	// The GK phase loop itself stays sequential — each phase's length
+	// function depends on every earlier routing decision, and reordering
+	// them would change the result.
+	var srcs []graph.NodeID
+	members := map[graph.NodeID][]int{}
+	for j, c := range cs {
+		if _, ok := members[c.Src]; !ok {
+			srcs = append(srcs, c.Src)
+		}
+		members[c.Src] = append(members[c.Src], j)
+	}
+	unrouted := 0
+	for _, bad := range par.Map(len(srcs), 0, func(i int) int {
+		s := graph.GetScratch()
+		defer graph.PutScratch(s)
+		fz.BFS(s, srcs[i], -1, nil, nil)
+		bad := 0
+		for _, j := range members[srcs[i]] {
+			// A degenerate src==dst commodity counts as unrouted, as it
+			// always has (BFS marks the source reached, a per-pair probe
+			// rejects the empty path).
+			if d := cs[j].Dst; d == srcs[i] || !s.Reached(d) {
+				bad++
 			}
 		}
-		p, d, ok := graph.WeightedShortestPath(g, cs[j].Src, cs[j].Dst, length)
-		if !ok {
-			return graph.Path{}, false
-		}
-		cache[j] = cachedPath{path: p, lenAtCompute: d, valid: true}
-		return p, true
-	}
-	// Probe reachability first so unroutable commodities are reported
-	// rather than looping forever. The per-commodity probes only read the
-	// graph, so they fan out across cores; the GK phase loop itself stays
-	// sequential — each phase's length function depends on every earlier
-	// routing decision, and reordering them would change the result.
-	unrouted := 0
-	for _, ok := range par.Map(len(cs), 0, func(j int) bool {
-		_, ok := graph.ShortestPath(g, cs[j].Src, cs[j].Dst)
-		return ok
+		return bad
 	}) {
-		if !ok {
-			unrouted++
-		}
+		unrouted += bad
 	}
 	if unrouted > 0 {
 		return result(0, cs, unrouted)
 	}
-	lambda, stats := adaptiveGK(g, cs, oracle, eps)
+	lambda, stats := adaptiveGK(fz, cs, o.paths, eps)
 	r := result(lambda, cs, 0)
 	r.Stats = stats
 	return r
 }
 
-type cachedPath struct {
-	path         graph.Path
+// freeOracle is the Free solver's lazy shortest-path oracle state: one
+// path cache per commodity (link buffers are recycled across refreshes)
+// and one shared Dijkstra scratch space. After the first few refreshes
+// have grown the buffers, a warm oracle call — cached or refreshing —
+// performs zero allocations (enforced by TestFreeOracleZeroAlloc).
+type freeOracle struct {
+	fz      *graph.Frozen
+	cs      []route.Commodity
+	eps     float64
+	scratch *graph.Scratch
+	cache   []freeCache
+}
+
+type freeCache struct {
+	links        []graph.LinkID
 	lenAtCompute float64
 	valid        bool
 }
 
-func pathLen(p graph.Path, length []float64) float64 {
-	var l float64
-	for _, e := range p.Links {
-		l += length[e]
+func (o *freeOracle) paths(j int, length []float64) (graph.Path, bool) {
+	c := &o.cache[j]
+	if c.valid {
+		var cur float64
+		for _, e := range c.links {
+			cur += length[e]
+		}
+		if cur <= (1+o.eps)*c.lenAtCompute {
+			if cur < c.lenAtCompute {
+				c.lenAtCompute = cur
+			}
+			return graph.Path{Links: c.links}, true
+		}
 	}
-	return l
+	src, dst := o.cs[j].Src, o.cs[j].Dst
+	if src == dst || !o.fz.Dijkstra(o.scratch, src, length, dst) {
+		return graph.Path{}, false
+	}
+	c.links = o.fz.AppendPath(o.scratch, src, dst, c.links[:0])
+	c.lenAtCompute = o.scratch.Dist(dst)
+	c.valid = true
+	return graph.Path{Links: c.links}, true
 }
 
 // adaptiveGK wraps gargKonemann with demand rescaling. GK's accuracy
@@ -209,16 +303,21 @@ func pathLen(p graph.Path, length []float64) float64 {
 // larger than the demand scale. The driver first scales demands by an
 // upper bound on λ (source-capacity bound), then re-runs with the measured
 // estimate if too few phases completed for the requested accuracy.
-func adaptiveGK(g *graph.Graph, cs []route.Commodity, oracle func(int, []float64) (graph.Path, bool), eps float64) (float64, SolverStats) {
+//
+// The oracle closure owns whatever scratch state it needs (path caches,
+// Dijkstra scratch, flat incidence). Each concurrent solve — one per
+// sweep-cell worker — builds its own oracle, so no scratch is ever
+// shared across workers.
+func adaptiveGK(fz *graph.Frozen, cs []route.Commodity, oracle func(int, []float64) (graph.Path, bool), eps float64) (float64, SolverStats) {
 	start := time.Now()
 	var stats SolverStats
 	// Upper bound: commodity j cannot exceed capOut(src)/demand.
 	ub := math.Inf(1)
 	for _, c := range cs {
 		var capOut float64
-		for _, id := range g.OutLinks(c.Src) {
-			if l := g.Link(id); l.Up {
-				capOut += l.Capacity
+		for _, id := range fz.OutLinks(c.Src) {
+			if fz.LinkUp(id) {
+				capOut += fz.LinkCap(id)
 			}
 		}
 		if b := capOut / c.Demand; b < ub {
@@ -238,7 +337,7 @@ func adaptiveGK(g *graph.Graph, cs []route.Commodity, oracle func(int, []float64
 			scaled[i] = c
 			scaled[i].Demand = c.Demand * scale
 		}
-		lam, phases, iters := gargKonemann(g, scaled, oracle, eps)
+		lam, phases, iters := gargKonemann(fz, scaled, oracle, eps)
 		stats.Attempts++
 		stats.Phases += phases
 		stats.Iterations += iters
@@ -266,13 +365,13 @@ func adaptiveGK(g *graph.Graph, cs []route.Commodity, oracle func(int, []float64
 // cheapest usable path under the given link lengths. It returns the
 // feasible concurrent ratio, the number of full phases completed, and
 // the number of inner augmentation iterations.
-func gargKonemann(g *graph.Graph, cs []route.Commodity, oracle func(int, []float64) (graph.Path, bool), eps float64) (float64, int, int64) {
+func gargKonemann(fz *graph.Frozen, cs []route.Commodity, oracle func(int, []float64) (graph.Path, bool), eps float64) (float64, int, int64) {
 	m := 0
-	cap := make([]float64, g.NumLinks())
-	for i := 0; i < g.NumLinks(); i++ {
-		l := g.Link(graph.LinkID(i))
-		cap[i] = l.Capacity
-		if l.Up && l.Capacity > 0 {
+	cap := make([]float64, fz.NumLinks())
+	for i := 0; i < fz.NumLinks(); i++ {
+		id := graph.LinkID(i)
+		cap[i] = fz.LinkCap(id)
+		if fz.LinkUp(id) && cap[i] > 0 {
 			m++
 		}
 	}
@@ -281,7 +380,7 @@ func gargKonemann(g *graph.Graph, cs []route.Commodity, oracle func(int, []float
 	}
 
 	delta := math.Pow(float64(m)/(1-eps), -1/eps)
-	length := make([]float64, g.NumLinks())
+	length := make([]float64, fz.NumLinks())
 	var dual float64 // D(l) = sum cap(e)*length(e)
 	for i := range length {
 		if cap[i] > 0 {

@@ -203,12 +203,34 @@ func interleaveGroup(g *graph.Graph, group []graph.Path) []graph.Path {
 // SinglePath returns one shortest path per commodity (the "low-latency"
 // interface of §3.4): in a heterogeneous P-Net this naturally picks the
 // plane with the fewest hops for each pair.
+//
+// The work is amortized by source: one full BFS tree on the CSR frozen
+// view serves every commodity sharing a source, and the per-source trees
+// fan out across cores. A BFS parent tree does not depend on where the
+// search would have stopped, so each traced path is identical to the
+// per-pair graph.ShortestPath result, at any worker count.
 func SinglePath(g *graph.Graph, cs []Commodity) [][]graph.Path {
+	fz := g.Frozen()
+	var srcs []graph.NodeID
+	idx := map[graph.NodeID]int{}
+	members := map[graph.NodeID][]int{}
+	for j, c := range cs {
+		if _, ok := idx[c.Src]; !ok {
+			idx[c.Src] = len(srcs)
+			srcs = append(srcs, c.Src)
+		}
+		members[c.Src] = append(members[c.Src], j)
+	}
 	out := make([][]graph.Path, len(cs))
-	par.Do(len(cs), 0, func(i int) {
-		c := cs[i]
-		if p, ok := graph.ShortestPath(g, c.Src, c.Dst); ok {
-			out[i] = []graph.Path{p}
+	par.Do(len(srcs), 0, func(i int) {
+		s := graph.GetScratch()
+		defer graph.PutScratch(s)
+		src := srcs[i]
+		fz.BFS(s, src, -1, nil, nil)
+		for _, j := range members[src] {
+			if d := cs[j].Dst; d != src && s.Reached(d) {
+				out[j] = []graph.Path{fz.PathTo(s, src, d)}
+			}
 		}
 	})
 	return out
