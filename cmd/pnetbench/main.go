@@ -18,12 +18,16 @@
 // Telemetry: -metrics streams JSONL samples (link queue depth and
 // utilization, per-plane bytes, engine event rate, flow and solver
 // records, final counter snapshot); -trace streams per-packet lifecycle
-// events (enqueue/drop/trim/deliver). Both accept a file path or "-" for
-// stdout. -report writes a RunSummary JSON (FCT percentiles, plane
-// shares, solver/engine aggregates) for pnetstat summary/diff/gate with
-// no JSONL round-trip. -pprof serves net/http/pprof on the given address
-// for live profiling of long runs. See README.md "Telemetry" and
-// "Analyzing runs" for the schemas.
+// events (enqueue/drop/trim/deliver), optionally narrowed to specific
+// flows with -trace-flow. Both accept a file path or "-" for stdout.
+// -report writes a RunSummary JSON (FCT percentiles, plane shares,
+// solver/engine aggregates) for pnetstat summary/diff/gate with no JSONL
+// round-trip. -spans turns on latency attribution (per-flow FCT
+// decomposition into queueing/serialization/propagation/stall
+// components) and the event-loop flight recorder behind `pnetstat
+// attribution` and `pnetstat profile`. -pprof serves net/http/pprof on
+// the given address for live profiling of long runs. See README.md
+// "Telemetry" and "Analyzing runs" for the schemas.
 //
 // Parallelism: -workers N caps how many independent sweep cells run
 // concurrently (0 = one per core, 1 = serial). Every cell owns its own
@@ -41,6 +45,8 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"pnet/internal/chaos"
@@ -60,7 +66,9 @@ func main() {
 		timing  = flag.Bool("time", true, "print wall-clock time per experiment")
 		format  = flag.String("format", "table", "table | csv | json")
 		metrics = flag.String("metrics", "", "stream metric samples as JSONL to this file ('-' = stdout)")
-		trace   = flag.String("trace", "", "stream packet lifecycle events as JSONL to this file ('-' = stdout)")
+		trace   = flag.String("trace", "", "stream packet lifecycle events as JSONL to this file ('-' = stdout); -trace-flow narrows it to chosen flows")
+		traceFl = flag.String("trace-flow", "", "comma-separated flow IDs to trace; other flows' events are filtered at the sink (requires -trace)")
+		spans   = flag.Bool("spans", false, "record latency attribution spans and the event-loop profile (pnetstat attribution / profile)")
 		sample  = flag.Duration("sample", 0, "sampling interval for -metrics/-report (default 10us of sim time)")
 		reportF = flag.String("report", "", "write a RunSummary JSON for pnetstat to this file")
 		chaosF  = flag.String("chaos", "", "fault script for fault-aware experiments ('help' prints the syntax)")
@@ -135,10 +143,26 @@ func main() {
 	var collector *obs.Collector
 	var aggr *report.Aggregator
 	var closers []io.Closer
-	if *metrics != "" || *trace != "" || *reportF != "" {
+	if *traceFl != "" && *trace == "" {
+		fmt.Fprintf(os.Stderr, "pnetbench: -trace-flow requires -trace\n")
+		os.Exit(2)
+	}
+	if *metrics != "" || *trace != "" || *reportF != "" || *spans {
 		collector = obs.NewCollector()
 		if *sample > 0 {
 			collector.Interval = sim.Time(sample.Nanoseconds()) * sim.Nanosecond
+		}
+		if *spans {
+			collector.Spans = true
+			collector.Profile = true
+		}
+		if *traceFl != "" {
+			ids, err := parseFlowIDs(*traceFl)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pnetbench: -trace-flow: %v\n", err)
+				os.Exit(2)
+			}
+			collector.TraceFlows = ids
 		}
 		if *reportF != "" {
 			// Samples reduce into the summary as they are taken; the
@@ -225,6 +249,15 @@ func main() {
 			Workers:    effWorkers,
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 		})
+		if summary.Profile != nil {
+			// Stamp the run's actual pool occupancy into the profile so
+			// `pnetstat profile` can say how much of the machine the
+			// cell-level parallelism already used.
+			st := par.PoolStats()
+			summary.Profile.PoolLimit = st.Limit
+			summary.Profile.PoolPeak = st.Peak
+			summary.Profile.PoolTasks = st.Tasks
+		}
 		b, err := json.MarshalIndent(summary, "", "  ")
 		if err == nil {
 			err = os.WriteFile(*reportF, append(b, '\n'), 0o644)
@@ -246,6 +279,26 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// parseFlowIDs parses the -trace-flow comma list.
+func parseFlowIDs(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, err := strconv.ParseInt(part, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad flow id %q", part)
+		}
+		out = append(out, id)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no flow ids in %q", s)
+	}
+	return out, nil
 }
 
 // openSink resolves a -metrics/-trace destination: "" = off, "-" =

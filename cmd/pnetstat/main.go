@@ -6,6 +6,8 @@
 // Usage:
 //
 //	pnetstat summary [-json] [-o out.json] [-gobench bench.txt] <run>
+//	pnetstat attribution [-json] <run>
+//	pnetstat profile [-json] <run>
 //	pnetstat diff [-threshold 0.1] [-gate-wall] <base> <cur>
 //	pnetstat gate [-dir .] [-threshold 0.1] [-gobench bench.txt] <run>
 //	pnetstat baseline [-dir .] <run>
@@ -41,6 +43,15 @@ commands:
       print a run summary (FCT percentiles, plane shares, solver/engine
       stats); -o writes the summary JSON, -gobench merges go test -bench
       results into it
+  attribution [-json] <run>
+      print the latency attribution tables: where every second of FCT
+      went (queueing, serialization, propagation, RTO stalls, repath
+      gaps, host waits) per plane, overall and for the p99.9 tail;
+      needs a run recorded with pnetbench -spans
+  profile [-json] <run>
+      print the event-loop profile: per-(kind, plane) event counts and
+      wall time, host-boundary fraction, and the predicted PDES speedup
+      bounds for per-plane event queues; needs pnetbench -spans
   diff [-threshold 0.1] [-gate-wall] <base> <cur>
       per-metric deltas between two runs; exit 1 if a gated metric
       worsens beyond the threshold
@@ -62,6 +73,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	switch cmd, rest := args[0], args[1:]; cmd {
 	case "summary":
 		return runSummary(rest, stdout, stderr)
+	case "attribution":
+		return runAttribution(rest, stdout, stderr)
+	case "profile":
+		return runProfile(rest, stdout, stderr)
 	case "diff":
 		return runDiff(rest, stdout, stderr)
 	case "gate":
@@ -159,6 +174,48 @@ func runSummary(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, string(b))
 	} else {
 		fmt.Fprint(stdout, s.String())
+	}
+	return 0
+}
+
+func runAttribution(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("attribution", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "print the attribution summary as JSON instead of text")
+	if fs.Parse(args) != nil || fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: pnetstat attribution [-json] <run>")
+		return 2
+	}
+	s, ok := loadRun(fs.Arg(0), "", stderr)
+	if !ok {
+		return 2
+	}
+	if *asJSON {
+		b, _ := json.MarshalIndent(s.Attribution, "", "  ")
+		fmt.Fprintln(stdout, string(b))
+	} else {
+		fmt.Fprint(stdout, s.AttributionString())
+	}
+	return 0
+}
+
+func runProfile(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "print the profile summary as JSON instead of text")
+	if fs.Parse(args) != nil || fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: pnetstat profile [-json] <run>")
+		return 2
+	}
+	s, ok := loadRun(fs.Arg(0), "", stderr)
+	if !ok {
+		return 2
+	}
+	if *asJSON {
+		b, _ := json.MarshalIndent(s.Profile, "", "  ")
+		fmt.Fprintln(stdout, string(b))
+	} else {
+		fmt.Fprint(stdout, s.ProfileString())
 	}
 	return 0
 }

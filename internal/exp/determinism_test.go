@@ -77,3 +77,52 @@ func TestSummaryWorkerInvariant(t *testing.T) {
 		t.Fatalf("summary is empty — the comparison proved nothing: %+v", serial)
 	}
 }
+
+// TestSpansSummaryWorkerInvariant reruns the invariance check with the
+// attribution spans and the event-loop flight recorder enabled. The
+// attribution tables are integer-summed picoseconds, so they must be
+// byte-identical at any worker count; the profile's event counts are
+// deterministic too, while its wall-clock and pool-occupancy fields are
+// the only quantities allowed to move with scheduling.
+func TestSpansSummaryWorkerInvariant(t *testing.T) {
+	run := func(n int) report.RunSummary {
+		par.SetLimit(n)
+		defer par.SetLimit(0)
+		c := obs.NewCollector()
+		c.Spans = true
+		c.Profile = true
+		aggr := report.NewAggregator()
+		c.Sink = aggr
+		c.DropSamples = true
+		e, _ := ByID("fig6c")
+		e.Run(Params{Seed: 1, Workers: n, Obs: c})
+		s := aggr.Summarize(c, report.Meta{Exp: "fig6c", Scale: "small", Seed: 1})
+		s.Solver.WallSec = 0
+		s.Engine.WallSec = 0
+		s.Engine.EventsPerSec = 0
+		if s.Profile != nil {
+			s.Profile.WallSec = 0
+			s.Profile.HostWallSec = 0
+			s.Profile.SpeedupWallBound = 0
+			s.Profile.PoolLimit, s.Profile.PoolPeak, s.Profile.PoolTasks = 0, 0, 0
+			for i := range s.Profile.Bins {
+				s.Profile.Bins[i].WallSec = 0
+			}
+			for i := range s.Profile.Planes {
+				s.Profile.Planes[i].WallSec = 0
+			}
+		}
+		return s
+	}
+	serial := run(1)
+	wide := run(8)
+	if serial.Attribution == nil || serial.Profile == nil {
+		t.Fatalf("spans run produced no attribution/profile: %+v", serial)
+	}
+	if got, want := wide.AttributionString(), serial.AttributionString(); got != want {
+		t.Errorf("attribution tables differ between workers=1 and workers=8:\n--- serial ---\n%s\n--- workers=8 ---\n%s", want, got)
+	}
+	if !reflect.DeepEqual(serial, wide) {
+		t.Errorf("spans RunSummary differs between workers=1 and workers=8:\nserial: %+v\nwide:   %+v", serial, wide)
+	}
+}

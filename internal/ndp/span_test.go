@@ -1,0 +1,134 @@
+package ndp
+
+import (
+	"testing"
+
+	"pnet/internal/graph"
+	"pnet/internal/sim"
+)
+
+func ndpComponentSums(totals []sim.SpanTotal) map[sim.SpanComponent]sim.Time {
+	out := map[sim.SpanComponent]sim.Time{}
+	for _, t := range totals {
+		out[t.Comp] += t.Dur
+	}
+	return out
+}
+
+// ndpCheckConservation asserts the receiver-side books balance: span
+// components sum exactly to the receiver-measured FCT.
+func ndpCheckConservation(t *testing.T, f *Flow) map[sim.SpanComponent]sim.Time {
+	t.Helper()
+	if got, want := f.AttributedTime(), f.FCT(); got != want {
+		t.Fatalf("attributed time %v != FCT %v (residual %v)", got, want, want-got)
+	}
+	return ndpComponentSums(f.Attribution())
+}
+
+func TestNDPSpanConservationClean(t *testing.T) {
+	g, _ := star(2)
+	eng, net := ndpNet(g)
+	net.EnableSpans()
+	p, _ := graph.ShortestPath(g, 0, 1)
+	f, err := NewFlow(net, Config{}, []graph.Path{p}, 1_500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	eng.RunUntil(sim.Second)
+	if !f.Done() {
+		t.Fatal("flow incomplete")
+	}
+	sums := ndpCheckConservation(t, f)
+	if sums[sim.SpanSerialize] == 0 {
+		t.Errorf("clean transfer shows no serialization: %v", sums)
+	}
+	if sums[sim.SpanRTOStall] != 0 {
+		t.Errorf("clean transfer charged rto_stall: %v", sums)
+	}
+}
+
+func TestNDPSpanConservationIncast(t *testing.T) {
+	// 16-to-1 incast trims heavily. Trim-driven resends are pull-clocked
+	// pacing, not stalls, so the dead time between pulls lands in
+	// host_wait — and every flow's books must balance exactly.
+	const fanIn = 16
+	g, _ := star(fanIn + 1)
+	eng, net := ndpNet(g)
+	net.EnableSpans()
+	var flows []*Flow
+	for i := 1; i <= fanIn; i++ {
+		p, _ := graph.ShortestPath(g, graph.NodeID(i), 0)
+		f, err := NewFlow(net, Config{}, []graph.Path{p}, 256_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flows = append(flows, f)
+		f.Start()
+	}
+	eng.RunUntil(sim.Second)
+	var trims int64
+	for _, f := range flows {
+		if !f.Done() {
+			t.Fatal("flow incomplete")
+		}
+		trims += f.Trims
+		sums := ndpCheckConservation(t, f)
+		if sums[sim.SpanRTOStall] != 0 {
+			t.Errorf("incast flow hit the backstop timer: %v", sums)
+		}
+	}
+	if trims == 0 {
+		t.Error("incast produced no trims; scenario not exercising resends")
+	}
+}
+
+func TestNDPSpanConservationBackstopRTO(t *testing.T) {
+	// Cut the only path mid-transfer: the credit clock dies with it and
+	// only the backstop timer (4ms default) can restart the flow after
+	// the link heals. That outage is a genuine stall and must be charged
+	// to rto_stall, with the books still exact.
+	g, _ := star(2)
+	eng, net := ndpNet(g)
+	net.EnableSpans()
+	p, _ := graph.ShortestPath(g, 0, 1)
+	setPath := func(up bool) {
+		for _, id := range p.Links {
+			net.SetLinkUp(id, up)
+			if rid, ok := net.G.ReverseLink(id); ok {
+				net.SetLinkUp(rid, up)
+			}
+		}
+	}
+	f, err := NewFlow(net, Config{}, []graph.Path{p}, 1_500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	eng.At(20*sim.Microsecond, func() { setPath(false) })
+	eng.At(10*sim.Millisecond, func() { setPath(true) })
+	eng.RunUntil(5 * sim.Second)
+	if !f.Done() {
+		t.Fatal("flow incomplete after the link healed")
+	}
+	sums := ndpCheckConservation(t, f)
+	if sums[sim.SpanRTOStall] < 5*sim.Millisecond {
+		t.Errorf("rto_stall = %v, want most of the ~12ms outage+timer wait: %v",
+			sums[sim.SpanRTOStall], sums)
+	}
+}
+
+func TestNDPSpanDisabledNoAttribution(t *testing.T) {
+	g, _ := star(2)
+	eng, net := ndpNet(g)
+	p, _ := graph.ShortestPath(g, 0, 1)
+	f, _ := NewFlow(net, Config{}, []graph.Path{p}, 15_000)
+	f.Start()
+	eng.RunUntil(sim.Second)
+	if !f.Done() {
+		t.Fatal("flow incomplete")
+	}
+	if len(f.Attribution()) != 0 || f.AttributedTime() != 0 {
+		t.Errorf("spans disabled but attribution = %v", f.Attribution())
+	}
+}

@@ -40,6 +40,18 @@ type Collector struct {
 	// set it alongside Sink to keep memory bounded on long runs whose
 	// consumer aggregates on the fly.
 	DropSamples bool
+	// Spans enables latency-attribution span recording on every attached
+	// network; completed flows then carry their FCT decomposition
+	// (FlowRecord.Spans). Must be set before AttachNetwork.
+	Spans bool
+	// Profile attaches an event-loop flight recorder to every attached
+	// engine; Close writes the per-(kind, plane) bins as profile records.
+	// Must be set before AttachNetwork.
+	Profile bool
+	// TraceFlows, when non-empty, restricts the packet-trace stream to
+	// the listed flow IDs. Events for other flows return before a line is
+	// built — filtered tracing stays allocation-free.
+	TraceFlows []int64
 
 	// Flows, Solver, and Faults accumulate records in memory for
 	// programmatic use (the JSONL streams carry the same data).
@@ -53,7 +65,29 @@ type Collector struct {
 	tw       *bufio.Writer // shared by every network's JSONLSink
 	samplers []*Sampler
 	sinks    []*JSONLSink
+	profiles []profileEntry
 	nets     int
+}
+
+// profileEntry pairs a flight recorder with its engine's conservative
+// PDES lookahead (the network's propagation delay). Recorder IDs are a
+// sequence of their own, independent of network attach order, so
+// profile-only attachments never shift the NetIDs of the metrics
+// stream.
+type profileEntry struct {
+	rec       *sim.FlightRecorder
+	eng       *sim.Engine
+	lookahead sim.Time
+}
+
+// ProfileSnapshot is one engine's flight-recorder state: the non-empty
+// (kind, plane) bins, the engine's conservative PDES lookahead, and the
+// sim time it had reached when snapshotted (the profiled duration).
+type ProfileSnapshot struct {
+	NetID     int
+	Lookahead sim.Time
+	SimTime   sim.Time
+	Bins      []sim.ProfileBin
 }
 
 // NewCollector returns a collector with a fresh registry and no streams.
@@ -112,12 +146,19 @@ func (c *Collector) AttachNetwork(eng *sim.Engine, net *sim.Network) *Sampler {
 	if c.tw != nil {
 		sink = NewJSONLSink(c.tw, eng, net.G)
 		sink.mu = &c.traceMu // every sink shares tw; writes must serialize
+		sink.only = c.TraceFlows
 		c.sinks = append(c.sinks, sink)
 	}
 	c.mu.Unlock()
 	c.Reg.Counter("networks.attached").Inc()
 	if sink != nil {
 		net.Tracer = sink
+	}
+	if c.Spans {
+		net.EnableSpans()
+	}
+	if c.Profile {
+		c.AttachProfile(eng, net)
 	}
 	var sampler *Sampler
 	if c.mw != nil || c.AlwaysSample || c.Sink != nil {
@@ -132,6 +173,40 @@ func (c *Collector) AttachNetwork(eng *sim.Engine, net *sim.Network) *Sampler {
 		c.mu.Unlock()
 	}
 	return sampler
+}
+
+// AttachProfile hooks an event-loop flight recorder onto one engine and
+// nothing else: no sampler, no tracer, no registry traffic. It exists so
+// a profiling companion can measure an otherwise-uninstrumented
+// simulation without perturbing any deterministic output of the run
+// (record streams, counters, NetID assignment all stay untouched).
+func (c *Collector) AttachProfile(eng *sim.Engine, net *sim.Network) *sim.FlightRecorder {
+	if c == nil {
+		return nil
+	}
+	rec := sim.NewFlightRecorder()
+	eng.Recorder = rec
+	c.mu.Lock()
+	c.profiles = append(c.profiles, profileEntry{rec: rec, eng: eng, lookahead: net.PropDelay()})
+	c.mu.Unlock()
+	return rec
+}
+
+// Profiles snapshots every attached flight recorder, in attach order.
+// Call it only after the profiled engines have stopped.
+func (c *Collector) Profiles() []ProfileSnapshot {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ProfileSnapshot, 0, len(c.profiles))
+	for i, e := range c.profiles {
+		out = append(out, ProfileSnapshot{
+			NetID: i, Lookahead: e.lookahead, SimTime: e.eng.Now(), Bins: e.rec.Snapshot(),
+		})
+	}
+	return out
 }
 
 // Samplers returns the samplers started so far, one per attached
@@ -261,11 +336,13 @@ func (c *Collector) Merge(src *Collector) {
 	flows := append([]FlowRecord(nil), src.Flows...)
 	solver := append([]SolverRecord(nil), src.Solver...)
 	faults := append([]FaultRecord(nil), src.Faults...)
+	profiles := append([]profileEntry(nil), src.profiles...)
 	src.mu.Unlock()
 	c.mu.Lock()
 	c.Flows = append(c.Flows, flows...)
 	c.Solver = append(c.Solver, solver...)
 	c.Faults = append(c.Faults, faults...)
+	c.profiles = append(c.profiles, profiles...)
 	c.mu.Unlock()
 	c.Reg.Merge(src.Reg)
 }
@@ -286,6 +363,15 @@ func (c *Collector) Close() error {
 		s.Stop()
 	}
 	if c.mw != nil {
+		for _, snap := range c.Profiles() {
+			for _, b := range snap.Bins {
+				c.mw.write(ProfileRecord{
+					Type: KindProfile, Net: snap.NetID, Kind: b.Kind.String(),
+					Plane: b.Plane, Events: b.Events, WallNano: b.WallNs,
+					LookaheadPs: int64(snap.Lookahead), SimPs: int64(snap.SimTime),
+				})
+			}
+		}
 		for _, m := range c.Reg.Snapshot() {
 			c.mw.write(m)
 		}

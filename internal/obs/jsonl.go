@@ -34,6 +34,11 @@ type JSONLSink struct {
 	// single-network, single-goroutine case.
 	mu *sync.Mutex
 
+	// only, when non-empty, restricts the stream to the listed flow IDs;
+	// other packets' events return before any line is built (a linear
+	// scan — the list is a handful of hand-picked flows).
+	only []int64
+
 	// Events counts lines written. Use EventCount to read it while other
 	// goroutines may still be tracing.
 	Events int64
@@ -54,6 +59,18 @@ func NewJSONLSink(w io.Writer, eng *sim.Engine, g *graph.Graph) *JSONLSink {
 
 // PacketEvent implements sim.Tracer.
 func (s *JSONLSink) PacketEvent(ev sim.TraceEvent, p *sim.Packet, link graph.LinkID) {
+	if len(s.only) > 0 {
+		keep := false
+		for _, id := range s.only {
+			if id == p.FlowID {
+				keep = true
+				break
+			}
+		}
+		if !keep {
+			return
+		}
+	}
 	b := s.buf[:0]
 	b = append(b, `{"type":"pkt","ev":"`...)
 	b = append(b, ev.String()...)

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pnet/internal/graph"
+	"pnet/internal/sim"
+)
+
+// sendPacket pushes one packet with the given flow id over path p.
+func sendPacket(net *sim.Network, p0 []graph.LinkID, flow int64) {
+	p := net.NewPacket()
+	p.Size = 1500
+	p.Route = p0
+	p.Deliver = &releaseSink{net: net}
+	p.FlowID = flow
+	net.Send(p)
+}
+
+func TestTraceFlowFilter(t *testing.T) {
+	g, p0, _ := twoPlane()
+	eng := sim.NewEngine()
+	net := sim.NewNetwork(eng, g, sim.Config{})
+	var buf bytes.Buffer
+	c := NewCollector()
+	c.TraceFlows = []int64{42}
+	c.StreamTrace(&buf)
+	c.AttachNetwork(eng, net)
+
+	sendPacket(net, p0, 42)
+	sendPacket(net, p0, 7)
+	sendPacket(net, p0, 42)
+	eng.Run()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := nonEmptyLines(buf.String())
+	if len(lines) == 0 {
+		t.Fatal("no trace lines for the selected flow")
+	}
+	for _, line := range lines {
+		var rec PacketRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		if rec.Flow != 42 {
+			t.Errorf("flow %d leaked through the -trace-flow filter: %q", rec.Flow, line)
+		}
+	}
+}
+
+// TestTraceFlowFilterZeroAlloc proves the filtered-out path is free:
+// rejecting a packet event must not allocate or write.
+func TestTraceFlowFilterZeroAlloc(t *testing.T) {
+	g, p0, _ := twoPlane()
+	eng := sim.NewEngine()
+	net := sim.NewNetwork(eng, g, sim.Config{})
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf, eng, g)
+	sink.only = []int64{42}
+
+	p := net.NewPacket()
+	p.Size = 1500
+	p.FlowID = 7 // not traced
+	if avg := testing.AllocsPerRun(100, func() {
+		sink.PacketEvent(sim.TraceEnqueue, p, p0[0])
+	}); avg != 0 {
+		t.Errorf("filtered PacketEvent allocates %v per call, want 0", avg)
+	}
+	if sink.EventCount() != 0 || buf.Len() != 0 {
+		t.Error("filtered events were recorded anyway")
+	}
+	net.Release(p)
+}
+
+// TestProfileRecordsOnClose checks the flight recorder's bins reach the
+// metrics stream as decodable profile records with valid event kinds.
+func TestProfileRecordsOnClose(t *testing.T) {
+	g, p0, _ := twoPlane()
+	eng := sim.NewEngine()
+	net := sim.NewNetwork(eng, g, sim.Config{PropDelay: 500 * sim.Nanosecond})
+	var buf bytes.Buffer
+	c := NewCollector()
+	c.Spans = true
+	c.Profile = true
+	c.StreamMetrics(&buf)
+	c.AttachNetwork(eng, net)
+	if !net.SpansOn() {
+		t.Fatal("AttachNetwork did not enable spans")
+	}
+
+	for i := 0; i < 4; i++ {
+		sendPacket(net, p0, int64(i))
+	}
+	eng.Run()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var profiles []ProfileRecord
+	for _, line := range nonEmptyLines(buf.String()) {
+		if !strings.Contains(line, `"type":"profile"`) {
+			continue
+		}
+		var rec ProfileRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad profile line %q: %v", line, err)
+		}
+		profiles = append(profiles, rec)
+	}
+	if len(profiles) == 0 {
+		t.Fatal("no profile records in the metrics stream")
+	}
+	var events int64
+	for _, rec := range profiles {
+		if !ValidEventKind(rec.Kind) {
+			t.Errorf("invalid event kind %q", rec.Kind)
+		}
+		if rec.SimPs <= 0 {
+			t.Errorf("profile record without sim time: %+v", rec)
+		}
+		if rec.LookaheadPs != int64(500*sim.Nanosecond) {
+			t.Errorf("lookahead = %d ps, want the 500ns prop delay", rec.LookaheadPs)
+		}
+		events += rec.Events
+	}
+	if events == 0 {
+		t.Error("profile records carry no events")
+	}
+}
+
+// TestAttachProfileIsolation checks the profiling hook's contract: it
+// must not consume a NetID, start a sampler, or touch the registry, so
+// a profiling companion cannot shift any deterministic output.
+func TestAttachProfileIsolation(t *testing.T) {
+	c := NewCollector()
+	var buf bytes.Buffer
+	c.StreamMetrics(&buf)
+
+	mk := func() (*sim.Engine, *sim.Network) {
+		g, _, _ := twoPlane()
+		eng := sim.NewEngine()
+		return eng, sim.NewNetwork(eng, g, sim.Config{})
+	}
+	engA, netA := mk()
+	sa := c.AttachNetwork(engA, netA)
+	engB, netB := mk()
+	if rec := c.AttachProfile(engB, netB); rec == nil || engB.Recorder != rec {
+		t.Fatal("AttachProfile did not hook the engine")
+	}
+	engC, netC := mk()
+	sc := c.AttachNetwork(engC, netC)
+
+	if sa.NetID != 0 || sc.NetID != 1 {
+		t.Errorf("sampler NetIDs = %d, %d: AttachProfile consumed an ID", sa.NetID, sc.NetID)
+	}
+	if got := c.Reg.Counter("networks.attached").Value(); got != 2 {
+		t.Errorf("networks.attached = %d, want 2 (profile attach must not count)", got)
+	}
+	if len(c.Samplers()) != 2 {
+		t.Errorf("samplers = %d, want 2", len(c.Samplers()))
+	}
+	if netB.SpansOn() {
+		t.Error("AttachProfile enabled spans on the profiled network")
+	}
+}

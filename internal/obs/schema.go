@@ -9,16 +9,19 @@ package obs
 // Every line in a metrics stream carries a "type" discriminator (one of
 // the Kind* constants); the packet-trace stream is all KindPacket lines.
 
+import "pnet/internal/sim"
+
 // Record type discriminators, the "type" field of every JSONL line.
 const (
-	KindLink   = "link"
-	KindPlane  = "plane"
-	KindEngine = "engine"
-	KindFlow   = "flow"
-	KindSolver = "solver"
-	KindMetric = "metric"
-	KindPacket = "pkt"
-	KindFault  = "fault"
+	KindLink    = "link"
+	KindPlane   = "plane"
+	KindEngine  = "engine"
+	KindFlow    = "flow"
+	KindSolver  = "solver"
+	KindMetric  = "metric"
+	KindPacket  = "pkt"
+	KindFault   = "fault"
+	KindProfile = "profile"
 )
 
 // LinkRecord is one active link's state at one sampling instant. Util is
@@ -73,6 +76,54 @@ type FlowRecord struct {
 	// Planes lists the distinct dataplanes the flow's paths use — the
 	// path/plane choice the paper's §7 monitoring must merge.
 	Planes []int32 `json:"planes"`
+	// Spans is the flow's FCT decomposition (latency attribution), present
+	// only when the run enabled span recording. The ps durations sum to
+	// the FCT exactly; carrying integer picoseconds (not float seconds)
+	// keeps downstream aggregation order-independent and bit-exact.
+	Spans []SpanShare `json:"spans,omitempty"`
+}
+
+// SpanShare is one (component, plane) cell of a flow's latency
+// attribution. Plane is -1 for components not tied to a link (stalls,
+// host waits).
+type SpanShare struct {
+	Component string `json:"c"`
+	Plane     int32  `json:"plane"`
+	Ps        int64  `json:"ps"`
+}
+
+// ValidSpanComponent reports whether name is a span component this
+// schema version emits — the reader's defense against typo'd or
+// future-version streams.
+func ValidSpanComponent(name string) bool {
+	_, ok := sim.ParseSpanComponent(name)
+	return ok
+}
+
+// ProfileRecord is one (engine, event-kind, plane) bin of the event-loop
+// flight recorder, written when the collector closes. Events is
+// deterministic for a fixed seed; WallNano is not (it measures this
+// run's host). LookaheadPs is the engine's conservative PDES lookahead
+// (the network's host–ToR propagation delay), repeated on each of the
+// engine's bins.
+type ProfileRecord struct {
+	Type        string `json:"type"` // "profile"
+	Net         int    `json:"net"`
+	Kind        string `json:"kind"`  // hop | deliver | tx | timer
+	Plane       int32  `json:"plane"` // -1 for timer (no plane)
+	Events      int64  `json:"events"`
+	WallNano    int64  `json:"wall_ns"`
+	LookaheadPs int64  `json:"lookahead_ps,omitempty"`
+	// SimPs is the engine's sim time when snapshotted — the profiled
+	// duration, repeated on each of the engine's bins.
+	SimPs int64 `json:"sim_ps,omitempty"`
+}
+
+// ValidEventKind reports whether name is an event kind this schema
+// version emits.
+func ValidEventKind(name string) bool {
+	_, ok := sim.ParseEventKind(name)
+	return ok
 }
 
 // SolverRecord captures one LP/flow-solver invocation: which experiment

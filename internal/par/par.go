@@ -69,6 +69,58 @@ func Workers(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// Pool occupancy counters, sampled by the event-loop profiler to report
+// how busy the execution layer actually was. Counting is atomic (Do runs
+// concurrently) but purely observational — it never affects scheduling
+// or results.
+var (
+	poolActive atomic.Int64 // goroutines currently inside a work item
+	poolPeak   atomic.Int64 // high-water mark of poolActive
+	poolTasks  atomic.Int64 // work items completed since ResetStats
+)
+
+// Stats is a snapshot of worker-pool occupancy.
+type Stats struct {
+	// Limit is the process-wide worker cap (see SetLimit).
+	Limit int
+	// Peak is the maximum number of goroutines observed running work
+	// items simultaneously since the last ResetStats.
+	Peak int
+	// Tasks is the number of work items completed since ResetStats.
+	Tasks int64
+}
+
+// PoolStats snapshots the pool's occupancy counters.
+func PoolStats() Stats {
+	return Stats{
+		Limit: Limit(),
+		Peak:  int(poolPeak.Load()),
+		Tasks: poolTasks.Load(),
+	}
+}
+
+// ResetStats zeroes the occupancy counters (not the limit).
+func ResetStats() {
+	poolPeak.Store(0)
+	poolTasks.Store(0)
+}
+
+// enterItem/leaveItem bracket one work item for occupancy accounting.
+func enterItem() {
+	a := poolActive.Add(1)
+	for {
+		p := poolPeak.Load()
+		if a <= p || poolPeak.CompareAndSwap(p, a) {
+			return
+		}
+	}
+}
+
+func leaveItem() {
+	poolActive.Add(-1)
+	poolTasks.Add(1)
+}
+
 // Panic is re-raised in the Do/Map caller when a work item panicked in
 // a worker goroutine.
 type Panic struct {
@@ -104,9 +156,12 @@ func Do(n, workers int, fn func(i int)) {
 		w = n
 	}
 	if w <= 1 || n == 1 {
+		enterItem()
 		for i := 0; i < n; i++ {
 			fn(i)
+			poolTasks.Add(1)
 		}
+		poolActive.Add(-1)
 		return
 	}
 
@@ -126,7 +181,9 @@ func Do(n, workers int, fn func(i int)) {
 				return
 			}
 			func() {
+				enterItem()
 				defer func() {
+					leaveItem()
 					if r := recover(); r != nil {
 						p := &Panic{Index: i, Value: r, Stack: debug.Stack()}
 						fail.CompareAndSwap(nil, p)

@@ -1,0 +1,363 @@
+package report
+
+// Latency attribution and event-loop profile summaries: the two sides of
+// this package's "explain the time" story. Attribution decomposes
+// simulated FCT into span components (deterministic, gateable); the
+// profile decomposes the event loop's work by kind and plane and derives
+// the PDES sizing bounds of ROADMAP item 1. Everything here except the
+// wall-second fields is bit-identical across worker counts.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pnet/internal/obs"
+	"pnet/internal/sim"
+)
+
+// AttributionCell is one (component, plane) slice of attributed time.
+// Plane is -1 for components not tied to a link (stalls, host waits).
+type AttributionCell struct {
+	Component string  `json:"component"`
+	Plane     int32   `json:"plane"`
+	Seconds   float64 `json:"seconds"`
+	Share     float64 `json:"share"`
+}
+
+// AttributionSummary is a run's FCT decomposition: where the seconds of
+// every flow's completion time went. Overall covers all flows carrying
+// spans; Tail re-aggregates only the flows at or above the FCT p99.9,
+// answering "what is the tail made of" directly.
+type AttributionSummary struct {
+	Flows    int64             `json:"flows"`
+	TotalSec float64           `json:"total_s"`
+	Overall  []AttributionCell `json:"overall"`
+
+	TailThresholdSec float64           `json:"tail_threshold_s,omitempty"`
+	TailFlows        int64             `json:"tail_flows,omitempty"`
+	Tail             []AttributionCell `json:"tail,omitempty"`
+}
+
+// ComponentShare sums a component's share across planes (0 if absent).
+func (a *AttributionSummary) ComponentShare(name string) float64 {
+	if a == nil {
+		return 0
+	}
+	var s float64
+	for _, c := range a.Overall {
+		if c.Component == name {
+			s += c.Share
+		}
+	}
+	return s
+}
+
+// ProfileBinSummary is one (event kind, plane) bin of the merged flight
+// recordings. Events is deterministic; WallSec is this host's.
+type ProfileBinSummary struct {
+	Kind    string  `json:"kind"`
+	Plane   int32   `json:"plane"`
+	Events  int64   `json:"events"`
+	WallSec float64 `json:"wall_s"`
+}
+
+// ProfilePlane is one dataplane's in-plane work (hop + tx events).
+type ProfilePlane struct {
+	Plane   int32   `json:"plane"`
+	Events  int64   `json:"events"`
+	WallSec float64 `json:"wall_s"`
+	// EventsPerSimSec is the plane's event rate per second of profiled
+	// sim time — how much work a per-plane PDES queue would own.
+	EventsPerSimSec float64 `json:"events_per_sim_sec,omitempty"`
+}
+
+// ProfileSummary is the event-loop flight recording reduced to the PDES
+// sizing question: how much of the event loop is per-plane work, how
+// much crosses the host boundary, and what speedup per-plane event
+// queues could therefore reach. The event-count bounds (SpeedupAmdahl,
+// SpeedupEventBound) are deterministic; the wall-based bound rides along
+// for this machine.
+type ProfileSummary struct {
+	Engines int     `json:"engines"`
+	Events  int64   `json:"events"`
+	WallSec float64 `json:"wall_s"`
+	SimSec  float64 `json:"sim_s,omitempty"` // profiled sim time, summed over engines
+
+	Bins   []ProfileBinSummary `json:"bins"`
+	Planes []ProfilePlane      `json:"planes,omitempty"`
+
+	// HostEvents counts deliver + timer events — the work that executes
+	// host-side code and serializes a per-plane partition.
+	HostEvents  int64   `json:"host_events"`
+	HostFrac    float64 `json:"host_frac"`
+	HostWallSec float64 `json:"host_wall_s"`
+
+	// LookaheadPs is the conservative PDES lookahead (the host–ToR
+	// propagation delay); EventsPerLookahead is the mean number of events
+	// one plane fires inside one lookahead window — the batch size that
+	// must amortize synchronization for conservative PDES to win.
+	LookaheadPs        int64   `json:"lookahead_ps,omitempty"`
+	EventsPerLookahead float64 `json:"events_per_lookahead,omitempty"`
+
+	// SpeedupAmdahl treats host events as the serial fraction over P
+	// plane workers; SpeedupEventBound is the critical-path bound
+	// total/(max-plane + host). Both are event-count based and
+	// deterministic. SpeedupWallBound is the same critical path in
+	// measured wall time (informational).
+	SpeedupAmdahl     float64 `json:"speedup_amdahl,omitempty"`
+	SpeedupEventBound float64 `json:"speedup_event_bound,omitempty"`
+	SpeedupWallBound  float64 `json:"speedup_wall_bound,omitempty"`
+
+	// Worker-pool occupancy of the run that produced the profile (from
+	// internal/par), recorded by the harness: how much of the machine the
+	// current cell-level parallelism already uses.
+	PoolLimit int   `json:"pool_limit,omitempty"`
+	PoolPeak  int   `json:"pool_peak,omitempty"`
+	PoolTasks int64 `json:"pool_tasks,omitempty"`
+}
+
+// spanFlow retains one flow's spans for tail re-aggregation.
+type spanFlow struct {
+	fct   float64
+	spans []obs.SpanShare
+}
+
+// attributionSummary reduces the accumulated span cells. thresh is the
+// tail FCT threshold in seconds (p99.9 of the run's FCTs).
+func (a *agg) attributionSummary(thresh float64) *AttributionSummary {
+	if len(a.spanPs) == 0 {
+		return nil
+	}
+	var totalPs int64
+	for _, ps := range a.spanPs {
+		totalPs += ps
+	}
+	s := &AttributionSummary{
+		Flows:    int64(len(a.spanFlows)),
+		TotalSec: float64(totalPs) / 1e12,
+		Overall:  cellsFromPs(a.spanPs, totalPs),
+	}
+	if thresh > 0 {
+		tail := map[[2]int64]int64{}
+		var tailPs int64
+		for _, f := range a.spanFlows {
+			if f.fct < thresh {
+				continue
+			}
+			s.TailFlows++
+			for _, sp := range f.spans {
+				ci, ok := sim.ParseSpanComponent(sp.Component)
+				if !ok {
+					continue
+				}
+				tail[[2]int64{int64(ci), int64(sp.Plane)}] += sp.Ps
+				tailPs += sp.Ps
+			}
+		}
+		if s.TailFlows > 0 {
+			s.TailThresholdSec = thresh
+			s.Tail = cellsFromPs(tail, tailPs)
+		}
+	}
+	return s
+}
+
+// cellsFromPs renders a (component, plane) → picoseconds map as sorted
+// cells. Shares are ratios of exact integer sums, so they are identical
+// however the picoseconds accumulated.
+func cellsFromPs(m map[[2]int64]int64, totalPs int64) []AttributionCell {
+	keys := make([][2]int64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	out := make([]AttributionCell, 0, len(keys))
+	for _, k := range keys {
+		share := 0.0
+		if totalPs > 0 {
+			share = float64(m[k]) / float64(totalPs)
+		}
+		out = append(out, AttributionCell{
+			Component: sim.SpanComponent(k[0]).String(),
+			Plane:     int32(k[1]),
+			Seconds:   float64(m[k]) / 1e12,
+			Share:     share,
+		})
+	}
+	return out
+}
+
+// profileSummary reduces the accumulated flight-recorder bins.
+func (a *agg) profileSummary() *ProfileSummary {
+	if len(a.profBins) == 0 {
+		return nil
+	}
+	keys := make([][2]int64, 0, len(a.profBins))
+	for k := range a.profBins {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+
+	s := &ProfileSummary{
+		Engines:     a.profEngines,
+		SimSec:      float64(a.profSimPs) / 1e12,
+		LookaheadPs: a.profLookPs,
+	}
+	var hostWallNs, totalWallNs int64
+	planeEv := map[int32]int64{}
+	planeWall := map[int32]int64{}
+	for _, k := range keys {
+		b := a.profBins[k]
+		kind := sim.EventKind(k[0])
+		plane := int32(k[1])
+		s.Bins = append(s.Bins, ProfileBinSummary{
+			Kind: kind.String(), Plane: plane,
+			Events: b[0], WallSec: float64(b[1]) / 1e9,
+		})
+		s.Events += b[0]
+		totalWallNs += b[1]
+		if kind.HostBoundary() {
+			s.HostEvents += b[0]
+			hostWallNs += b[1]
+		} else if plane >= 0 {
+			planeEv[plane] += b[0]
+			planeWall[plane] += b[1]
+		}
+	}
+	s.WallSec = float64(totalWallNs) / 1e9
+	s.HostWallSec = float64(hostWallNs) / 1e9
+	if s.Events > 0 {
+		s.HostFrac = float64(s.HostEvents) / float64(s.Events)
+	}
+
+	planes := make([]int32, 0, len(planeEv))
+	for p := range planeEv {
+		planes = append(planes, p)
+	}
+	sort.Slice(planes, func(i, j int) bool { return planes[i] < planes[j] })
+	var maxPlaneEv, maxPlaneWall int64
+	for _, p := range planes {
+		pp := ProfilePlane{Plane: p, Events: planeEv[p], WallSec: float64(planeWall[p]) / 1e9}
+		if s.SimSec > 0 {
+			pp.EventsPerSimSec = float64(planeEv[p]) / s.SimSec
+		}
+		s.Planes = append(s.Planes, pp)
+		if planeEv[p] > maxPlaneEv {
+			maxPlaneEv = planeEv[p]
+		}
+		if planeWall[p] > maxPlaneWall {
+			maxPlaneWall = planeWall[p]
+		}
+	}
+
+	if n := len(planes); n > 0 && s.Events > 0 {
+		f := s.HostFrac
+		s.SpeedupAmdahl = 1 / (f + (1-f)/float64(n))
+		if denom := maxPlaneEv + s.HostEvents; denom > 0 {
+			s.SpeedupEventBound = float64(s.Events) / float64(denom)
+		}
+		if denom := maxPlaneWall + hostWallNs; denom > 0 {
+			s.SpeedupWallBound = float64(totalWallNs) / float64(denom)
+		}
+		if s.SimSec > 0 && s.LookaheadPs > 0 {
+			inPlane := s.Events - s.HostEvents
+			perPlaneRate := float64(inPlane) / float64(n) / s.SimSec
+			s.EventsPerLookahead = perPlaneRate * float64(s.LookaheadPs) / 1e12
+		}
+	}
+	return s
+}
+
+// AttributionString renders the full attribution tables — the payload of
+// `pnetstat attribution`. Purely simulated-time quantities: the output
+// is byte-identical for a fixed seed at any worker count.
+func (s RunSummary) AttributionString() string {
+	a := s.Attribution
+	if a == nil {
+		return "no attribution data (run with spans enabled, e.g. pnetbench -spans)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "attribution: %d flows, %s attributed", a.Flows, secs(a.TotalSec))
+	if s.FCT.Count > 0 {
+		fmt.Fprintf(&b, " (fct p50=%s p999=%s)", secs(s.FCT.P50), secs(s.FCT.P999))
+	}
+	b.WriteByte('\n')
+	writeCells(&b, "overall", a.Overall)
+	if len(a.Tail) > 0 {
+		fmt.Fprintf(&b, "tail: %d flows with fct >= %s (p99.9)\n", a.TailFlows, secs(a.TailThresholdSec))
+		writeCells(&b, "tail", a.Tail)
+	}
+	return b.String()
+}
+
+func writeCells(b *strings.Builder, label string, cells []AttributionCell) {
+	for _, c := range cells {
+		plane := "    -"
+		if c.Plane >= 0 {
+			plane = fmt.Sprintf("%5d", c.Plane)
+		}
+		fmt.Fprintf(b, "  %-8s %-10s plane %s  %12s  %6.2f%%\n",
+			label, c.Component, plane, secs(c.Seconds), c.Share*100)
+	}
+}
+
+// ProfileString renders the event-loop profile and PDES sizing verdict —
+// the payload of `pnetstat profile`. Event counts and the *_event bounds
+// are deterministic; wall times are this machine's.
+func (s RunSummary) ProfileString() string {
+	p := s.Profile
+	if p == nil {
+		return "no profile data (run with the flight recorder enabled, e.g. pnetbench -spans)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile: %d events across %d engine(s), %.3fs wall\n",
+		p.Events, p.Engines, p.WallSec)
+	for _, bin := range p.Bins {
+		plane := "    -"
+		if bin.Plane >= 0 {
+			plane = fmt.Sprintf("%5d", bin.Plane)
+		}
+		fmt.Fprintf(&b, "  %-8s plane %s  %12d events  %10.4fs wall\n",
+			bin.Kind, plane, bin.Events, bin.WallSec)
+	}
+	for _, pl := range p.Planes {
+		fmt.Fprintf(&b, "plane %d: %d in-plane events", pl.Plane, pl.Events)
+		if pl.EventsPerSimSec > 0 {
+			fmt.Fprintf(&b, " (%.4g events per sim-second)", pl.EventsPerSimSec)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "host boundary: %d events (%.2f%% of all), %.3fs wall\n",
+		p.HostEvents, p.HostFrac*100, p.HostWallSec)
+	if p.LookaheadPs > 0 {
+		fmt.Fprintf(&b, "lookahead: %s", sim.Time(p.LookaheadPs))
+		if p.EventsPerLookahead > 0 {
+			fmt.Fprintf(&b, " (%.4g events per plane per window)", p.EventsPerLookahead)
+		}
+		b.WriteByte('\n')
+	}
+	if p.SpeedupEventBound > 0 {
+		fmt.Fprintf(&b, "pdes speedup bound: %.2fx critical-path (events), %.2fx amdahl",
+			p.SpeedupEventBound, p.SpeedupAmdahl)
+		if p.SpeedupWallBound > 0 {
+			fmt.Fprintf(&b, ", %.2fx critical-path (wall, this host)", p.SpeedupWallBound)
+		}
+		b.WriteByte('\n')
+	}
+	if p.PoolLimit > 0 {
+		fmt.Fprintf(&b, "worker pool: limit %d, peak %d, %d tasks\n",
+			p.PoolLimit, p.PoolPeak, p.PoolTasks)
+	}
+	return b.String()
+}

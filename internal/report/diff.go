@@ -47,9 +47,14 @@ type Delta struct {
 	Exceeded bool    `json:"exceeded"`
 }
 
-// DiffReport is the verdict of comparing two runs.
+// DiffReport is the verdict of comparing two runs. Added lists metrics
+// present only in the current run — a baseline from before the metric
+// existed says nothing about regression, but silently dropping the
+// comparison hid that the run now measures more; added metrics never
+// fail the gate.
 type DiffReport struct {
 	Deltas []Delta `json:"deltas"`
+	Added  []Delta `json:"added,omitempty"`
 	Pass   bool    `json:"pass"`
 }
 
@@ -64,7 +69,8 @@ func (d DiffReport) Regressions() []Delta {
 	return out
 }
 
-// String renders the diff as an aligned table, regressions marked.
+// String renders the diff as an aligned table, regressions marked and
+// current-run-only metrics prefixed with '+'.
 func (d DiffReport) String() string {
 	var b strings.Builder
 	for _, dl := range d.Deltas {
@@ -75,6 +81,9 @@ func (d DiffReport) String() string {
 			mark = "·"
 		}
 		fmt.Fprintf(&b, "%s %-28s %14.6g -> %14.6g  %+7.2f%%\n", mark, dl.Metric, dl.Base, dl.Cur, dl.Rel*100)
+	}
+	for _, dl := range d.Added {
+		fmt.Fprintf(&b, "+ %-28s %14s -> %14.6g  (new in current run)\n", dl.Metric, "-", dl.Cur)
 	}
 	if d.Pass {
 		b.WriteString("PASS\n")
@@ -109,12 +118,21 @@ func Diff(base, cur RunSummary, t Thresholds) DiffReport {
 		dl.Exceeded = gated && rel > t.threshold(name)
 		d.Deltas = append(d.Deltas, dl)
 	}
+	added := func(name string, c float64) {
+		d.Added = append(d.Added, Delta{Metric: name, Cur: c})
+	}
 
-	if base.FCT.Count > 0 && cur.FCT.Count > 0 {
+	switch {
+	case base.FCT.Count > 0 && cur.FCT.Count > 0:
 		add("fct_s.p50", base.FCT.P50, cur.FCT.P50, higherWorse, true)
 		add("fct_s.p99", base.FCT.P99, cur.FCT.P99, higherWorse, true)
 		add("fct_s.p999", base.FCT.P999, cur.FCT.P999, higherWorse, true)
 		add("fct_s.mean", base.FCT.Mean, cur.FCT.Mean, higherWorse, true)
+	case cur.FCT.Count > 0:
+		added("fct_s.p50", cur.FCT.P50)
+		added("fct_s.p99", cur.FCT.P99)
+		added("fct_s.p999", cur.FCT.P999)
+		added("fct_s.mean", cur.FCT.Mean)
 	}
 	add("flows", float64(base.Flows), float64(cur.Flows), lowerWorse, true)
 	add("flow_bytes", float64(base.FlowBytes), float64(cur.FlowBytes), lowerWorse, true)
@@ -122,9 +140,13 @@ func Diff(base, cur RunSummary, t Thresholds) DiffReport {
 	add("goodput_bps", base.GoodputBps, cur.GoodputBps, lowerWorse, true)
 	add("plane_imbalance", base.PlaneImbalance, cur.PlaneImbalance, higherWorse, true)
 	add("drops", float64(base.Drops), float64(cur.Drops), higherWorse, true)
-	if base.LinkUtil.Count > 0 && cur.LinkUtil.Count > 0 {
+	switch {
+	case base.LinkUtil.Count > 0 && cur.LinkUtil.Count > 0:
 		add("link_util.p99", base.LinkUtil.P99, cur.LinkUtil.P99, higherWorse, false)
 		add("queue_bytes.p99", base.QueueBytes.P99, cur.QueueBytes.P99, higherWorse, false)
+	case cur.LinkUtil.Count > 0:
+		added("link_util.p99", cur.LinkUtil.P99)
+		added("queue_bytes.p99", cur.QueueBytes.P99)
 	}
 	add("solver.phases", float64(base.Solver.Phases), float64(cur.Solver.Phases), higherWorse, true)
 	add("solver.iterations", float64(base.Solver.Iterations), float64(cur.Solver.Iterations), higherWorse, true)
@@ -133,10 +155,51 @@ func Diff(base, cur RunSummary, t Thresholds) DiffReport {
 	add("engine.wall_s", base.Engine.WallSec, cur.Engine.WallSec, higherWorse, t.GateWall)
 	add("engine.events_per_sec", base.Engine.EventsPerSec, cur.Engine.EventsPerSec, lowerWorse, t.GateWall)
 
+	// Attribution shares compare only when both runs recorded spans. The
+	// stall shares are gated: a change that shifts FCT composition toward
+	// dead protocol time (more RTO stalls, more repath gaps) is a
+	// regression even when the FCT percentiles still squeak under their
+	// thresholds. Shares are in [0,1], so gate on absolute movement via
+	// the same relative rule (base==0 → any appearance trips it, which is
+	// exactly right for stall time).
+	switch {
+	case base.Attribution != nil && cur.Attribution != nil:
+		ba, ca := base.Attribution, cur.Attribution
+		add("attribution.rto_stall.share", ba.ComponentShare("rto_stall"), ca.ComponentShare("rto_stall"), higherWorse, true)
+		add("attribution.repath_gap.share", ba.ComponentShare("repath_gap"), ca.ComponentShare("repath_gap"), higherWorse, true)
+		add("attribution.queue.share", ba.ComponentShare("queue"), ca.ComponentShare("queue"), higherWorse, false)
+		add("attribution.host_wait.share", ba.ComponentShare("host_wait"), ca.ComponentShare("host_wait"), higherWorse, false)
+	case cur.Attribution != nil:
+		for _, c := range cur.Attribution.Overall {
+			added(fmt.Sprintf("attribution.%s.plane%d.share", c.Component, c.Plane), c.Share)
+		}
+	}
+
+	// The event-loop profile is informational (its wall side is machine-
+	// local, its count side already gated via engine.events), but a
+	// profile appearing for the first time is worth surfacing.
+	if base.Profile == nil && cur.Profile != nil {
+		added("profile.events", float64(cur.Profile.Events))
+		added("profile.host_frac", cur.Profile.HostFrac)
+		added("profile.speedup_event_bound", cur.Profile.SpeedupEventBound)
+	}
+
 	// Fault metrics compare only when both runs exercised faults — a
 	// fault-free baseline says nothing about failover latency, and the
 	// base==0 "appeared from nowhere" rule would fail every first chaos
 	// run against an old baseline.
+	if base.Faults == nil && cur.Faults != nil {
+		added("faults.blackholed", float64(cur.Faults.Blackholed))
+		if cur.Faults.DetectLatency.Count > 0 {
+			added("faults.detect_latency_s.p50", cur.Faults.DetectLatency.P50)
+		}
+		if cur.Faults.FailoverLatency.Count > 0 {
+			added("faults.failover_latency_s.p50", cur.Faults.FailoverLatency.P50)
+		}
+		if cur.Faults.Recovery.Count > 0 {
+			added("faults.recovery_s.p50", cur.Faults.Recovery.P50)
+		}
+	}
 	if base.Faults != nil && cur.Faults != nil {
 		bf, cf := base.Faults, cur.Faults
 		add("faults.blackholed", float64(bf.Blackholed), float64(cf.Blackholed), higherWorse, false)
@@ -161,13 +224,20 @@ func Diff(base, cur RunSummary, t Thresholds) DiffReport {
 	for _, g := range cur.GoBench {
 		curBench[g.Name] = g
 	}
+	baseBench := map[string]bool{}
 	for _, g := range base.GoBench {
+		baseBench[g.Name] = true
 		c, ok := curBench[g.Name]
 		if !ok {
 			continue
 		}
 		add("gobench."+g.Name+".ns_per_op", g.NsPerOp, c.NsPerOp, higherWorse, t.GateWall)
 		add("gobench."+g.Name+".allocs_per_op", g.AllocsPerOp, c.AllocsPerOp, higherWorse, true)
+	}
+	for _, g := range cur.GoBench {
+		if !baseBench[g.Name] {
+			added("gobench."+g.Name+".ns_per_op", g.NsPerOp)
+		}
 	}
 
 	d.Pass = len(d.Regressions()) == 0

@@ -21,14 +21,15 @@ import (
 // Stream holds every record decoded from one metrics JSONL stream,
 // bucketed by kind in input order.
 type Stream struct {
-	Links   []obs.LinkRecord
-	Planes  []obs.PlaneRecord
-	Engines []obs.EngineRecord
-	Flows   []obs.FlowRecord
-	Solvers []obs.SolverRecord
-	Metrics []obs.MetricSnapshot
-	Packets []obs.PacketRecord
-	Faults  []obs.FaultRecord
+	Links    []obs.LinkRecord
+	Planes   []obs.PlaneRecord
+	Engines  []obs.EngineRecord
+	Flows    []obs.FlowRecord
+	Solvers  []obs.SolverRecord
+	Metrics  []obs.MetricSnapshot
+	Packets  []obs.PacketRecord
+	Faults   []obs.FaultRecord
+	Profiles []obs.ProfileRecord
 	// Lines counts successfully decoded records.
 	Lines int
 }
@@ -144,6 +145,11 @@ func (s *Stream) decodeLine(b []byte) error {
 		if err := json.Unmarshal(b, &r); err != nil {
 			return err
 		}
+		for _, sp := range r.Spans {
+			if !obs.ValidSpanComponent(sp.Component) {
+				return fmt.Errorf("flow %d: unknown span component %q", r.ID, sp.Component)
+			}
+		}
 		s.Flows = append(s.Flows, r)
 	case obs.KindSolver:
 		var r obs.SolverRecord
@@ -169,6 +175,15 @@ func (s *Stream) decodeLine(b []byte) error {
 			return err
 		}
 		s.Faults = append(s.Faults, r)
+	case obs.KindProfile:
+		var r obs.ProfileRecord
+		if err := json.Unmarshal(b, &r); err != nil {
+			return err
+		}
+		if !obs.ValidEventKind(r.Kind) {
+			return fmt.Errorf("profile net %d: unknown event kind %q", r.Net, r.Kind)
+		}
+		s.Profiles = append(s.Profiles, r)
 	default:
 		return &UnknownKindError{Kind: h.Type}
 	}

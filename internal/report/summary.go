@@ -8,6 +8,7 @@ import (
 
 	"pnet/internal/metrics"
 	"pnet/internal/obs"
+	"pnet/internal/sim"
 )
 
 // SchemaVersion is bumped whenever RunSummary's JSON shape changes
@@ -115,6 +116,13 @@ type RunSummary struct {
 	Solver SolverSummary `json:"solver"`
 	Engine EngineSummary `json:"engine"`
 
+	// Attribution decomposes the run's FCTs into span components; Profile
+	// is the event-loop flight recording with the PDES sizing bounds.
+	// Both are present only for runs that enabled them (pnetbench -spans),
+	// so baselines from span-free runs stay byte-compatible.
+	Attribution *AttributionSummary `json:"attribution,omitempty"`
+	Profile     *ProfileSummary     `json:"profile,omitempty"`
+
 	// Faults is present only for runs with fault activity (chaos
 	// injection or blackholed packets) — absent for the fault-free runs
 	// of older baselines, which keeps the schema backward compatible.
@@ -156,6 +164,19 @@ type agg struct {
 
 	faultInjected, faultCleared, faultDetected int64
 	detectLat, failoverLat, recovery, dipFrac  []float64
+
+	// Latency attribution: exact integer-picosecond sums per (component,
+	// plane) — commutative, so worker count cannot change them — plus the
+	// per-flow spans retained for the tail re-aggregation.
+	spanPs    map[[2]int64]int64
+	spanFlows []spanFlow
+
+	// Flight-recorder bins per (kind, plane): [events, wallNs].
+	profBins    map[[2]int64][2]int64
+	profEngines int
+	profSimPs   int64 // profiled sim time, summed over engines
+	profLookPs  int64 // conservative PDES lookahead (max over engines)
+	profNets    map[int]bool
 }
 
 func newAgg() *agg {
@@ -163,6 +184,9 @@ func newAgg() *agg {
 		linkDrops:  map[[2]int64]int64{},
 		linkBH:     map[[2]int64]int64{},
 		planeBytes: map[[2]int64]int64{},
+		spanPs:     map[[2]int64]int64{},
+		profBins:   map[[2]int64][2]int64{},
+		profNets:   map[int]bool{},
 	}
 }
 
@@ -195,6 +219,54 @@ func (a *agg) addFlow(f obs.FlowRecord) {
 	a.fcts = append(a.fcts, f.FCT)
 	a.bytes += f.Bytes
 	a.retrans += f.Retransmits
+	if len(f.Spans) > 0 {
+		for _, sp := range f.Spans {
+			ci, ok := sim.ParseSpanComponent(sp.Component)
+			if !ok {
+				continue // the reader rejects these; defensive for in-memory paths
+			}
+			a.spanPs[[2]int64{int64(ci), int64(sp.Plane)}] += sp.Ps
+		}
+		a.spanFlows = append(a.spanFlows, spanFlow{fct: f.FCT, spans: f.Spans})
+	}
+}
+
+// addProfileRecord folds one JSONL profile bin (the stream path).
+func (a *agg) addProfileRecord(r obs.ProfileRecord) {
+	ki, ok := sim.ParseEventKind(r.Kind)
+	if !ok {
+		return // the reader rejects these; defensive for direct callers
+	}
+	k := [2]int64{int64(ki), int64(r.Plane)}
+	b := a.profBins[k]
+	b[0] += r.Events
+	b[1] += r.WallNano
+	a.profBins[k] = b
+	if !a.profNets[r.Net] {
+		a.profNets[r.Net] = true
+		a.profEngines++
+		a.profSimPs += r.SimPs
+	}
+	if r.LookaheadPs > a.profLookPs {
+		a.profLookPs = r.LookaheadPs
+	}
+}
+
+// addProfileSnapshot folds one engine's recorder state (the in-memory
+// collector path).
+func (a *agg) addProfileSnapshot(snap obs.ProfileSnapshot) {
+	a.profEngines++
+	a.profSimPs += int64(snap.SimTime)
+	if int64(snap.Lookahead) > a.profLookPs {
+		a.profLookPs = int64(snap.Lookahead)
+	}
+	for _, bin := range snap.Bins {
+		k := [2]int64{int64(bin.Kind), int64(bin.Plane)}
+		b := a.profBins[k]
+		b[0] += bin.Events
+		b[1] += bin.WallNs
+		a.profBins[k] = b
+	}
 }
 
 func (a *agg) addSolver(r obs.SolverRecord) {
@@ -312,6 +384,9 @@ func (a *agg) summary(m Meta) RunSummary {
 	if s.Engine.SimSec > 0 {
 		s.GoodputBps = float64(a.bytes) * 8 / s.Engine.SimSec
 	}
+
+	s.Attribution = a.attributionSummary(s.FCT.P999)
+	s.Profile = a.profileSummary()
 	return s
 }
 
@@ -371,6 +446,9 @@ func (x *Aggregator) Summarize(c *obs.Collector, m Meta) RunSummary {
 	for _, r := range c.Faults {
 		x.a.addFault(r)
 	}
+	for _, snap := range c.Profiles() {
+		x.a.addProfileSnapshot(snap)
+	}
 	x.a.engines = len(c.Samplers())
 	return x.a.summary(m)
 }
@@ -402,6 +480,9 @@ func FromCollector(c *obs.Collector, m Meta) RunSummary {
 			a.addEngine(es.Record(sm.NetID))
 		}
 	}
+	for _, snap := range c.Profiles() {
+		a.addProfileSnapshot(snap)
+	}
 	return a.summary(m)
 }
 
@@ -427,6 +508,9 @@ func FromStream(st *Stream, m Meta) RunSummary {
 	for _, r := range st.Engines {
 		nets[r.Net] = true
 		a.addEngine(r)
+	}
+	for _, r := range st.Profiles {
+		a.addProfileRecord(r)
 	}
 	a.engines = len(nets)
 	return a.summary(m)
@@ -501,6 +585,26 @@ func (s RunSummary) String() string {
 	if s.Engine.Events > 0 {
 		fmt.Fprintf(&b, "engine: %d events in %.3fs wall (%.3g events/s) across %d networks\n",
 			s.Engine.Events, s.Engine.WallSec, s.Engine.EventsPerSec, s.Engine.Networks)
+	}
+	if a := s.Attribution; a != nil {
+		b.WriteString("attribution:")
+		byComp := map[string]float64{}
+		for _, c := range a.Overall {
+			byComp[c.Component] += c.Share
+		}
+		for _, name := range sim.SpanComponentNames() {
+			if sh, ok := byComp[name]; ok {
+				fmt.Fprintf(&b, " %s=%.1f%%", name, sh*100)
+			}
+		}
+		fmt.Fprintf(&b, " over %d flows (pnetstat attribution for the tables)\n", a.Flows)
+	}
+	if p := s.Profile; p != nil {
+		fmt.Fprintf(&b, "profile: %d events, host boundary %.1f%%", p.Events, p.HostFrac*100)
+		if p.SpeedupEventBound > 0 {
+			fmt.Fprintf(&b, ", pdes bound %.2fx", p.SpeedupEventBound)
+		}
+		b.WriteString(" (pnetstat profile for detail)\n")
 	}
 	if f := s.Faults; f != nil {
 		fmt.Fprintf(&b, "faults: %d injected, %d cleared, %d detected; %d blackholed",

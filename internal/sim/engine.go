@@ -75,6 +75,11 @@ type Engine struct {
 	fired  uint64
 	events eventHeap
 	free   *Event // pool for internal (actor) events
+
+	// Recorder, when set, profiles every dispatched event (kind, plane,
+	// wall time) — the event-loop flight recorder behind `pnetstat
+	// profile`. Nil costs one branch per event.
+	Recorder *FlightRecorder
 }
 
 // NewEngine returns an engine at time zero.
@@ -133,6 +138,10 @@ func (e *Engine) schedule(at Time, who actor) {
 
 // fire dispatches a popped event, recycling pooled ones.
 func (e *Engine) fire(ev *Event) {
+	if e.Recorder != nil {
+		e.fireProfiled(ev)
+		return
+	}
 	e.now = ev.at
 	e.fired++
 	if ev.who != nil {

@@ -43,6 +43,9 @@ type Packet struct {
 
 	net  *Network
 	next *Packet // freelist
+	// span, when non-nil, is the packet's latency-attribution timeline
+	// (see span.go); queues record segments into it as the packet moves.
+	span *SpanLog
 }
 
 // act delivers the packet at the node it has propagated to; packets are
@@ -128,6 +131,12 @@ type Network struct {
 	queues []queue
 	free   *Packet
 
+	// Span (latency attribution) state: a pool of SpanLogs and the
+	// enable flag transports consult once per flow. See span.go.
+	spansOn   bool
+	freeSpans *SpanLog
+	prop      Time // per-link propagation delay (the PDES lookahead)
+
 	// Drops counts packets lost to full queues, by link.
 	Drops []int64
 	// Blackholed counts packets lost to administratively-down links, by
@@ -157,6 +166,7 @@ func NewNetwork(eng *Engine, g *graph.Graph, cfg Config) *Network {
 		n.queues[i] = queue{
 			net:      n,
 			id:       graph.LinkID(i),
+			plane:    l.Plane,
 			psPerBit: 1000 / l.Capacity, // ps per bit at `Capacity` Gb/s
 			prop:     cfg.propDelay(),
 			capBytes: cfg.queueBytes(),
@@ -164,8 +174,14 @@ func NewNetwork(eng *Engine, g *graph.Graph, cfg Config) *Network {
 			trimTo:   cfg.TrimToBytes,
 		}
 	}
+	n.prop = cfg.propDelay()
 	return n
 }
+
+// PropDelay reports the per-link propagation delay the network was built
+// with — the conservative lookahead a per-plane PDES partition would
+// have (planes only couple at hosts, one propagation delay away).
+func (n *Network) PropDelay() Time { return n.prop }
 
 // LinkStats are the per-link monitoring counters (§7 of the paper notes
 // that multi-dataplane monitoring must merge per-plane statistics; these
@@ -284,8 +300,14 @@ func (n *Network) NewPacket() *Packet {
 }
 
 // Release returns a delivered or dropped packet to the freelist. Callers
-// must not retain the packet afterwards.
+// must not retain the packet afterwards. A span the transport did not
+// claim (drops, blackholes, packets released without TakeSpan) is
+// returned to the span pool here.
 func (n *Network) Release(p *Packet) {
+	if p.span != nil {
+		n.FreeSpan(p.span)
+		p.span = nil
+	}
 	p.next = n.free
 	n.free = p
 }
@@ -331,6 +353,7 @@ func (n *Network) arrive(p *Packet) {
 type queue struct {
 	net      *Network
 	id       graph.LinkID
+	plane    int32
 	psPerBit float64
 	prop     Time
 	capBytes int32
@@ -388,6 +411,9 @@ func (q *queue) enqueue(p *Packet) {
 	if q.net.Tracer != nil {
 		q.net.Tracer.PacketEvent(TraceEnqueue, p, q.id)
 	}
+	if p.span != nil {
+		p.span.wait = q.net.Eng.Now()
+	}
 	q.buf = append(q.buf, p)
 	q.bytes += p.Size
 	if !q.busy {
@@ -403,6 +429,13 @@ func (q *queue) startTx() {
 	q.busyTime += tx
 	q.txPkts++
 	q.txBytes += int64(p.Size)
+	if p.span != nil {
+		// The hop's full cost is known here: queueing wait since enqueue,
+		// then tx, then propagation. Recording prop now is safe — if the
+		// link dies mid-flight the packet is blackholed and its span
+		// discarded with it, never attributed.
+		p.span.hop(q.plane, eng.Now()-p.span.wait, tx, q.prop)
+	}
 	eng.schedule(eng.Now()+tx, q)
 }
 

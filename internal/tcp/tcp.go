@@ -121,6 +121,15 @@ type Flow struct {
 	OnRepath func(f *Flow, subflow int, to graph.Path)
 	// Repaths counts successful subflow path swaps.
 	Repaths int64
+
+	// Latency attribution (sim.Network.EnableSpans): the flow's lifetime
+	// is partitioned at sender-side ACK-progress instants and each
+	// interval charged to the journey of the packet whose delivery
+	// produced the progress, so the attribution totals sum to the FCT
+	// exactly. spanOn is latched from the network at NewFlow.
+	spanOn       bool
+	lastProgress sim.Time
+	attrib       sim.SpanAttribution
 }
 
 // NewFlow prepares a transfer of sizeBytes over the given paths (one
@@ -138,6 +147,7 @@ func NewFlow(net *sim.Network, cfg Config, paths []graph.Path, sizeBytes int64) 
 		net:      net,
 		cfg:      cfg,
 		SizePkts: (sizeBytes + int64(cfg.MTU) - 1) / int64(cfg.MTU),
+		spanOn:   net.SpansOn(),
 	}
 	src, dst := paths[0].Src(net.G), paths[0].Dst(net.G)
 	for i, p := range paths {
@@ -191,10 +201,21 @@ func (f *Flow) Start() {
 	}
 	f.started = true
 	f.Started = f.net.Eng.Now()
+	f.lastProgress = f.Started
 	for _, sf := range f.subs {
 		sf.trySend()
 	}
 }
+
+// Attribution returns the flow's FCT decomposition as (component, plane,
+// duration) cells sorted by (component, plane). Empty unless the network
+// had spans enabled before the flow was created; once the flow is done,
+// the durations sum to FCT() exactly.
+func (f *Flow) Attribution() []sim.SpanTotal { return f.attrib.Totals() }
+
+// AttributedTime returns the total simulated time attributed so far —
+// equal to FCT() once the flow is done.
+func (f *Flow) AttributedTime() sim.Time { return f.attrib.Total() }
 
 func (f *Flow) checkComplete() {
 	if f.done || f.assigned < f.SizePkts {
@@ -289,6 +310,10 @@ type subflow struct {
 	timing      bool
 	timedSeq    int64
 	timedAt     sim.Time
+	// spanCause classifies the next transmission for latency attribution:
+	// fresh (window-clocked), RTO retransmission, or first send after a
+	// repath. Reset to fresh on ACK progress.
+	spanCause sim.SpanCause
 
 	// Receiver.
 	rcvNxt int64
@@ -339,6 +364,9 @@ func (sf *subflow) transmit(seq int64, fresh bool) {
 	p.Deliver = sf.dataH
 	p.Seq = seq
 	p.FlowID = sf.f.ID
+	if sf.f.spanOn {
+		p.AttachSpan(sf.f.net.NewSpan(sf.spanCause, sf.f.net.Eng.Now()))
+	}
 	sf.f.net.Send(p)
 	if fresh && !sf.timing {
 		sf.timing = true
@@ -389,10 +417,12 @@ func (sf *subflow) onRTO() {
 	sf.inRecovery = false
 	sf.timing = false
 	sf.consecRTOs++
+	sf.spanCause = sim.CauseRTO
 	if sf.maybeRepath() {
 		// A fresh path deserves a fresh timeout: keep backing off only
 		// while stuck on the same (possibly dead) route.
 		sf.backoff = 0
+		sf.spanCause = sim.CauseRepath
 	} else if sf.backoff < 6 {
 		sf.backoff++
 	}
@@ -449,6 +479,10 @@ func samePath(a, b []graph.LinkID) bool {
 func (sf *subflow) onData(p *sim.Packet) {
 	seq := p.Seq
 	ce := p.CE
+	// The data packet's span continues onto its ACK: delivery, ACK send,
+	// and ACK enqueue all happen at this instant, so the combined journey
+	// stays contiguous from the original send to the ACK's arrival.
+	span := p.TakeSpan()
 	sf.f.net.Release(p)
 	if seq+1 > sf.rcvMax {
 		sf.rcvMax = seq + 1
@@ -484,6 +518,9 @@ func (sf *subflow) onData(p *sim.Packet) {
 	ack.AckSeq = sf.rcvNxt
 	ack.FlowID = sf.f.ID
 	ack.ECE = ce // echo the CE mark (per-packet, as DCTCP requires)
+	if span != nil {
+		ack.AttachSpan(span)
+	}
 	sf.f.net.Send(ack)
 }
 
@@ -491,8 +528,10 @@ func (sf *subflow) onData(p *sim.Packet) {
 func (sf *subflow) onAck(p *sim.Packet) {
 	ackSeq := p.AckSeq
 	ece := p.ECE
+	span := p.TakeSpan()
 	sf.f.net.Release(p)
 	if sf.f.done {
+		sf.f.net.FreeSpan(span)
 		return
 	}
 	if sf.f.cfg.DCTCP {
@@ -500,6 +539,16 @@ func (sf *subflow) onAck(p *sim.Packet) {
 	}
 	switch {
 	case ackSeq > sf.sndUna:
+		// Progress: charge [lastProgress, now] to the journey of the
+		// packet this ACK answers, *before* checkComplete — at completion
+		// lastProgress has reached Finished, so the per-component totals
+		// sum to the FCT exactly.
+		sf.spanCause = sim.CauseFresh
+		if sf.f.spanOn {
+			now := sf.f.net.Eng.Now()
+			sf.f.attrib.Attribute(span, sf.f.lastProgress, now)
+			sf.f.lastProgress = now
+		}
 		newly := ackSeq - sf.sndUna
 		sf.sndUna = ackSeq
 		if sf.sndNxt < sf.sndUna {
@@ -553,6 +602,7 @@ func (sf *subflow) onAck(p *sim.Packet) {
 			sf.trySend()
 		}
 	}
+	sf.f.net.FreeSpan(span)
 }
 
 // repairHole retransmits the next lost packet. With SACK (the default),

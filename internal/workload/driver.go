@@ -238,6 +238,7 @@ func (d *Driver) StartFlowOnPaths(paths []graph.Path, sizeBytes int64,
 				Retransmits: fl.Retransmits,
 				Subflows:    fl.Subflows(),
 				Planes:      planesOf(d.Net.G, paths),
+				Spans:       spanShares(fl.Attribution()),
 			})
 		}
 		if onComplete != nil {
@@ -260,6 +261,19 @@ func planesOf(g *graph.Graph, paths []graph.Path) []int32 {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// spanShares converts a flow's attribution cells to their JSONL shape.
+// Nil in, nil out: flows on span-disabled networks carry no spans field.
+func spanShares(totals []sim.SpanTotal) []obs.SpanShare {
+	if len(totals) == 0 {
+		return nil
+	}
+	out := make([]obs.SpanShare, len(totals))
+	for i, t := range totals {
+		out[i] = obs.SpanShare{Component: t.Comp.String(), Plane: t.Plane, Ps: int64(t.Dur)}
+	}
 	return out
 }
 
