@@ -25,9 +25,14 @@
 // round-trip. -spans turns on latency attribution (per-flow FCT
 // decomposition into queueing/serialization/propagation/stall
 // components) and the event-loop flight recorder behind `pnetstat
-// attribution` and `pnetstat profile`. -pprof serves net/http/pprof on
-// the given address for live profiling of long runs. See README.md
-// "Telemetry" and "Analyzing runs" for the schemas.
+// attribution` and `pnetstat profile`. -fingerprint folds every fired
+// event into rolling per-plane determinism hash chains, checkpointed
+// every -fingerprint-epoch events into the metrics stream / report;
+// -fingerprint-journal additionally streams one record per folded event
+// for `pnetstat divergence` to localize the exact first divergent
+// event. -pprof serves net/http/pprof on the given address for live
+// profiling of long runs. See README.md "Telemetry" and "Analyzing
+// runs" for the schemas.
 //
 // Parallelism: -workers N caps how many independent sweep cells run
 // concurrently (0 = one per core, 1 = serial). Every cell owns its own
@@ -69,6 +74,9 @@ func main() {
 		trace   = flag.String("trace", "", "stream packet lifecycle events as JSONL to this file ('-' = stdout); -trace-flow narrows it to chosen flows")
 		traceFl = flag.String("trace-flow", "", "comma-separated flow IDs to trace; other flows' events are filtered at the sink (requires -trace)")
 		spans   = flag.Bool("spans", false, "record latency attribution spans and the event-loop profile (pnetstat attribution / profile)")
+		fprint  = flag.Bool("fingerprint", false, "fold every fired event into per-plane determinism hash chains (pnetstat fingerprint / divergence); needs -metrics or -report")
+		fpEpoch = flag.Int64("fingerprint-epoch", 0, "events per fingerprint checkpoint (0 = default 65536); requires -fingerprint")
+		fpJourn = flag.String("fingerprint-journal", "", "stream one JSONL record per folded event to this file ('-' = stdout) for pnetstat divergence -events-*; requires -fingerprint")
 		sample  = flag.Duration("sample", 0, "sampling interval for -metrics/-report (default 10us of sim time)")
 		reportF = flag.String("report", "", "write a RunSummary JSON for pnetstat to this file")
 		chaosF  = flag.String("chaos", "", "fault script for fault-aware experiments ('help' prints the syntax)")
@@ -79,14 +87,21 @@ func main() {
 
 	// An explicit -sample must be positive; silently falling back to the
 	// default would make the printed series lie about their cadence.
-	sampleSet := false
+	sampleSet, fpEpochSet := false, false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "sample" {
+		switch f.Name {
+		case "sample":
 			sampleSet = true
+		case "fingerprint-epoch":
+			fpEpochSet = true
 		}
 	})
 	if sampleSet && *sample <= 0 {
 		fmt.Fprintf(os.Stderr, "pnetbench: -sample must be positive, got %v\n", *sample)
+		os.Exit(2)
+	}
+	if err := validateFingerprintFlags(*fprint, *fpEpoch, fpEpochSet, *fpJourn, *metrics, *reportF); err != nil {
+		fmt.Fprintf(os.Stderr, "pnetbench: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -147,7 +162,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pnetbench: -trace-flow requires -trace\n")
 		os.Exit(2)
 	}
-	if *metrics != "" || *trace != "" || *reportF != "" || *spans {
+	if *metrics != "" || *trace != "" || *reportF != "" || *spans || *fprint {
 		collector = obs.NewCollector()
 		if *sample > 0 {
 			collector.Interval = sim.Time(sample.Nanoseconds()) * sim.Nanosecond
@@ -155,6 +170,18 @@ func main() {
 		if *spans {
 			collector.Spans = true
 			collector.Profile = true
+		}
+		if *fprint {
+			collector.Fingerprint = true
+			collector.FingerprintEpoch = *fpEpoch
+			// The journal stream must be wired before any network
+			// attaches, which happens inside the experiments' Run.
+			if w, c := openSink(*fpJourn); w != nil {
+				collector.StreamFingerprintJournal(w)
+				if c != nil {
+					closers = append(closers, c)
+				}
+			}
 		}
 		if *traceFl != "" {
 			ids, err := parseFlowIDs(*traceFl)
@@ -279,6 +306,26 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// validateFingerprintFlags rejects -fingerprint combinations that would
+// silently do nothing or lie about cadence. epochSet says whether
+// -fingerprint-epoch appeared on the command line at all (the zero
+// default is valid and means "use the built-in cadence").
+func validateFingerprintFlags(fingerprint bool, epoch int64, epochSet bool, journal, metrics, reportF string) error {
+	if epochSet && epoch <= 0 {
+		return fmt.Errorf("-fingerprint-epoch must be positive, got %d", epoch)
+	}
+	if epochSet && !fingerprint {
+		return fmt.Errorf("-fingerprint-epoch requires -fingerprint")
+	}
+	if journal != "" && !fingerprint {
+		return fmt.Errorf("-fingerprint-journal requires -fingerprint")
+	}
+	if fingerprint && metrics == "" && reportF == "" {
+		return fmt.Errorf("-fingerprint needs a sink for the checkpoints: add -metrics or -report")
+	}
+	return nil
 }
 
 // parseFlowIDs parses the -trace-flow comma list.

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pnet/internal/obs"
+	"pnet/internal/sim"
+)
+
+// replayJSONL folds synthetic packet events through a real fingerprinter
+// and writes the resulting records as JSONL: checkpoints (and a flow so
+// the stream summarizes) to one file, the journal to another.
+func replayJSONL(t *testing.T, dir, name string, n, swapAt int, epoch int64) (metrics, journal string) {
+	t.Helper()
+	f := sim.NewFingerprinter(epoch)
+	var jlines []any
+	f.Journal = func(e sim.FingerprintJournalEntry) {
+		jlines = append(jlines, obs.FingerprintEventRecord{
+			Type: obs.KindFPEvent, Net: 0, Epoch: e.Epoch, I: e.Index,
+			TPs: int64(e.T), Kind: e.Kind.String(), Plane: e.Plane,
+			Link: e.Link, Flow: e.Flow, Seq: e.Seq, Size: e.Size,
+			Hash: obs.FormatHash(e.Hash),
+		})
+	}
+	for i := 0; i < n; i++ {
+		j := i
+		if swapAt >= 0 {
+			if i == swapAt {
+				j = swapAt + 1
+			} else if i == swapAt+1 {
+				j = swapAt
+			}
+		}
+		f.Fold(sim.Time(1000*(i+1)), sim.EvHop, int32(j%2), int64(j%5), int64(j%7+1), int64(j), 1500)
+	}
+	var mlines []any
+	mlines = append(mlines, obs.FlowRecord{Type: obs.KindFlow, ID: 1, TPs: 1000 * int64(n), Transport: "tcp", Bytes: 1500, FCT: 1e-6})
+	// Flow 3 carries spans so divergence can print the guilty flow's
+	// FCT decomposition next to the localized event (synthetic events
+	// use flow = i%7+1, so the perturbed pair at i=100 touches flow 3).
+	mlines = append(mlines, obs.FlowRecord{Type: obs.KindFlow, ID: 3, TPs: 1000 * int64(n), Transport: "tcp", Bytes: 3000, FCT: 2e-6,
+		Spans: []obs.SpanShare{{Component: "queue", Plane: 1, Ps: 2_000_000}}})
+	for _, cp := range f.Checkpoints() {
+		r := obs.FingerprintRecord{
+			Type: obs.KindFingerprint, Net: 0, Epoch: cp.Epoch, Events: cp.Events,
+			TPs: int64(cp.T), EpochEvents: epoch, Hash: obs.FormatHash(cp.Global),
+			Host: obs.FormatHash(cp.Host), Final: cp.Partial,
+		}
+		for pl, h := range cp.Planes {
+			r.Planes = append(r.Planes, obs.PlaneHash{Plane: int32(pl), Hash: obs.FormatHash(h)})
+		}
+		mlines = append(mlines, r)
+	}
+	write := func(suffix string, lines []any) string {
+		var b bytes.Buffer
+		for _, l := range lines {
+			raw, err := json.Marshal(l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Write(raw)
+			b.WriteByte('\n')
+		}
+		path := filepath.Join(dir, name+suffix)
+		if err := os.WriteFile(path, b.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	return write(".jsonl", mlines), write(".journal.jsonl", jlines)
+}
+
+func TestFingerprintCommand(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := replayJSONL(t, dir, "a", 100, -1, 32)
+	var out, errb bytes.Buffer
+	if code := run2(t, []string{"fingerprint", m}, &out, &errb); code != 0 {
+		t.Fatalf("fingerprint exited %d: %s", code, errb.String())
+	}
+	for _, want := range []string{"global ", "host   ", "plane 0", "plane 1", "100 events"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	// A run without fingerprints is a usage error with a pointer.
+	noFP := writeRun(t, dir, "plain.json", testSummary())
+	out.Reset()
+	errb.Reset()
+	if code := run2(t, []string{"fingerprint", noFP}, &out, &errb); code != 2 {
+		t.Fatalf("fingerprint on fp-free run exited %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "-fingerprint") {
+		t.Errorf("error lacks remediation: %s", errb.String())
+	}
+}
+
+func TestDivergenceCommand(t *testing.T) {
+	dir := t.TempDir()
+	base, baseJ := replayJSONL(t, dir, "base", 200, -1, 32)
+	same, _ := replayJSONL(t, dir, "same", 200, -1, 32)
+	pert, pertJ := replayJSONL(t, dir, "pert", 200, 100, 32)
+
+	var out, errb bytes.Buffer
+	if code := run2(t, []string{"divergence", base, same}, &out, &errb); code != 0 {
+		t.Fatalf("matching runs exited %d: %s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "MATCH") {
+		t.Errorf("output = %q", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	code := run2(t, []string{"divergence", "-k", "2", "-events-base", baseJ, "-events-cur", pertJ, base, pert}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("diverged runs exited %d, want 1: %s%s", code, out.String(), errb.String())
+	}
+	text := out.String()
+	// Events 100/101 land in epoch 3 at indices 4/5 with a 32-event
+	// cadence; flows are i%7+1 = 3 and 4.
+	for _, want := range []string{"DIVERGED", "epoch 3", "first divergent event: epoch 3 index 4", "flow=3", "flow=4",
+		"flow 3 (base)", "queue[p1]=2000000ps"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("divergence output missing %q:\n%s", want, text)
+		}
+	}
+
+	// Without journals the epoch is still localized, with remediation.
+	out.Reset()
+	errb.Reset()
+	if code := run2(t, []string{"divergence", base, pert}, &out, &errb); code != 1 {
+		t.Fatalf("exited %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "-fingerprint-journal") {
+		t.Errorf("journal-free output lacks remediation:\n%s", out.String())
+	}
+}
+
+func TestExportTraceCommand(t *testing.T) {
+	dir := t.TempDir()
+	m, _ := replayJSONL(t, dir, "a", 50, -1, 32)
+	outFile := filepath.Join(dir, "trace.json")
+	var out, errb bytes.Buffer
+	if code := run2(t, []string{"export-trace", "-o", outFile, m}, &out, &errb); code != 0 {
+		t.Fatalf("export-trace exited %d: %s", code, errb.String())
+	}
+	raw, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+	// A RunSummary JSON is the wrong input; the error must say so.
+	plain := writeRun(t, dir, "plain.json", testSummary())
+	out.Reset()
+	errb.Reset()
+	if code := run2(t, []string{"export-trace", plain}, &out, &errb); code != 2 {
+		t.Fatalf("export-trace on summary JSON exited %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "JSONL") {
+		t.Errorf("error lacks input guidance: %s", errb.String())
+	}
+}

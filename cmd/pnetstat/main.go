@@ -8,6 +8,9 @@
 //	pnetstat summary [-json] [-o out.json] [-gobench bench.txt] <run>
 //	pnetstat attribution [-json] <run>
 //	pnetstat profile [-json] <run>
+//	pnetstat fingerprint [-json] <run>
+//	pnetstat divergence [-k 5] [-events-base j.jsonl] [-events-cur j.jsonl] <base> <cur>
+//	pnetstat export-trace [-o trace.json] <metrics.jsonl>
 //	pnetstat diff [-threshold 0.1] [-gate-wall] <base> <cur>
 //	pnetstat gate [-dir .] [-threshold 0.1] [-gobench bench.txt] <run>
 //	pnetstat baseline [-dir .] <run>
@@ -52,6 +55,19 @@ commands:
       print the event-loop profile: per-(kind, plane) event counts and
       wall time, host-boundary fraction, and the predicted PDES speedup
       bounds for per-plane event queues; needs pnetbench -spans
+  fingerprint [-json] <run>
+      print the determinism fingerprint: the XOR-folded global, host,
+      and per-plane hash chains; needs pnetbench -fingerprint
+  divergence [-k 5] [-events-base j.jsonl] [-events-cur j.jsonl] <base> <cur>
+      compare two runs' fingerprint checkpoint streams (metrics JSONL),
+      binary-search to the first divergent epoch, and — given -events-*
+      journals from -fingerprint-journal re-runs — print the first
+      divergent event with a ±k context window and per-plane
+      attribution; exit 0 match, 1 diverged, 2 error
+  export-trace [-o trace.json] <metrics.jsonl>
+      convert a metrics stream into Chrome Trace Event JSON viewable in
+      Perfetto (ui.perfetto.dev): planes as processes, flows as tracks,
+      span components as slices, faults and packets as instants
   diff [-threshold 0.1] [-gate-wall] <base> <cur>
       per-metric deltas between two runs; exit 1 if a gated metric
       worsens beyond the threshold
@@ -77,6 +93,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return runAttribution(rest, stdout, stderr)
 	case "profile":
 		return runProfile(rest, stdout, stderr)
+	case "fingerprint":
+		return runFingerprint(rest, stdout, stderr)
+	case "divergence":
+		return runDivergence(rest, stdout, stderr)
+	case "export-trace":
+		return runExportTrace(rest, stdout, stderr)
 	case "diff":
 		return runDiff(rest, stdout, stderr)
 	case "gate":
@@ -217,6 +239,167 @@ func runProfile(args []string, stdout, stderr io.Writer) int {
 	} else {
 		fmt.Fprint(stdout, s.ProfileString())
 	}
+	return 0
+}
+
+func runFingerprint(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fingerprint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	asJSON := fs.Bool("json", false, "print the fingerprint summary as JSON instead of text")
+	if fs.Parse(args) != nil || fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: pnetstat fingerprint [-json] <run>")
+		return 2
+	}
+	s, ok := loadRun(fs.Arg(0), "", stderr)
+	if !ok {
+		return 2
+	}
+	if s.Fingerprint == nil {
+		fmt.Fprintf(stderr, "pnetstat: %s has no fingerprint records — rerun with pnetbench -fingerprint\n", fs.Arg(0))
+		return 2
+	}
+	if *asJSON {
+		b, _ := json.MarshalIndent(s.Fingerprint, "", "  ")
+		fmt.Fprintln(stdout, string(b))
+		return 0
+	}
+	fp := s.Fingerprint
+	fmt.Fprintf(stdout, "fingerprint: %d engine(s), %d events, epoch %d\n", fp.Engines, fp.Events, fp.EpochEvents)
+	fmt.Fprintf(stdout, "global %s\n", fp.Global)
+	fmt.Fprintf(stdout, "host   %s\n", fp.Host)
+	for _, p := range fp.Planes {
+		fmt.Fprintf(stdout, "plane %d %s\n", p.Plane, p.Hash)
+	}
+	return 0
+}
+
+func runDivergence(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("divergence", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	k := fs.Int("k", 5, "context window: events printed either side of the divergence")
+	evBase := fs.String("events-base", "", "fingerprint journal JSONL for the base run (pnetbench -fingerprint-journal)")
+	evCur := fs.String("events-cur", "", "fingerprint journal JSONL for the current run")
+	if fs.Parse(args) != nil || fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: pnetstat divergence [-k 5] [-events-base j.jsonl] [-events-cur j.jsonl] <base> <cur>")
+		return 2
+	}
+	base, err := report.LoadStream(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "pnetstat: %v\n", err)
+		return 2
+	}
+	cur, err := report.LoadStream(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "pnetstat: %v\n", err)
+		return 2
+	}
+	// Journals may live in the metrics streams themselves or in separate
+	// files from a -fingerprint-journal re-run; fold the latter in.
+	for _, j := range []struct {
+		path string
+		st   *report.Stream
+	}{{*evBase, base}, {*evCur, cur}} {
+		if j.path == "" {
+			continue
+		}
+		js, err := report.LoadStream(j.path)
+		if err != nil {
+			fmt.Fprintf(stderr, "pnetstat: %v\n", err)
+			return 2
+		}
+		j.st.FPEvents = append(j.st.FPEvents, js.FPEvents...)
+	}
+	d, err := report.FindDivergence(base, cur)
+	if err != nil {
+		fmt.Fprintf(stderr, "pnetstat: %v\n", err)
+		return 2
+	}
+	if !d.Match && d.Note == "" && (len(base.FPEvents) > 0 || len(cur.FPEvents) > 0) {
+		if err := d.LocalizeEvents(base, cur, *k); err != nil {
+			fmt.Fprintf(stderr, "pnetstat: %v\n", err)
+		}
+	}
+	fmt.Fprint(stdout, d.String())
+	if d.Event != nil {
+		divergenceContext(stdout, d, base, cur)
+	}
+	if !d.Match {
+		return 1
+	}
+	return 0
+}
+
+// divergenceContext prints the span and flight-recorder context around
+// a localized divergence, when the streams carry it: the divergent
+// event's flow with its FCT decomposition (a -spans run), and the
+// diverging planes' event-loop bins (the flight recorder). Both tell
+// the debugger what the guilty event was doing, not just that it moved.
+func divergenceContext(w io.Writer, d *report.Divergence, base, cur *report.Stream) {
+	sides := []struct {
+		name string
+		st   *report.Stream
+		flow int64
+	}{{"base", base, d.Event.Base.Flow}, {"cur", cur, d.Event.Cur.Flow}}
+	for _, s := range sides {
+		if s.flow <= 0 {
+			continue
+		}
+		for _, f := range s.st.Flows {
+			if f.ID != s.flow {
+				continue
+			}
+			fmt.Fprintf(w, "  flow %d (%s): %s %d bytes fct=%.3gs", f.ID, s.name, f.Transport, f.Bytes, f.FCT)
+			for _, sp := range f.Spans {
+				fmt.Fprintf(w, " %s[p%d]=%dps", sp.Component, sp.Plane, sp.Ps)
+			}
+			fmt.Fprintln(w)
+			break
+		}
+	}
+	for _, s := range sides[:1] { // bins are per-run; base suffices for orientation
+		for _, p := range s.st.Profiles {
+			for _, pl := range d.Planes {
+				if p.Plane == pl {
+					fmt.Fprintf(w, "  flight recorder (%s): plane %d %s ×%d\n", s.name, p.Plane, p.Kind, p.Events)
+				}
+			}
+		}
+	}
+}
+
+func runExportTrace(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("export-trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "", "write the trace JSON to this file instead of stdout")
+	if fs.Parse(args) != nil || fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: pnetstat export-trace [-o trace.json] <metrics.jsonl>")
+		return 2
+	}
+	st, err := report.LoadStream(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "pnetstat: %v\n", err)
+		return 2
+	}
+	tr, err := report.ExportTrace(st)
+	if err != nil {
+		fmt.Fprintf(stderr, "pnetstat: %v\n", err)
+		return 2
+	}
+	b, err := json.Marshal(tr)
+	if err != nil {
+		fmt.Fprintf(stderr, "pnetstat: %v\n", err)
+		return 2
+	}
+	b = append(b, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, b, 0o644); err != nil {
+			fmt.Fprintf(stderr, "pnetstat: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d events)\n", *out, len(tr.TraceEvents))
+		return 0
+	}
+	fmt.Fprint(stdout, string(b))
 	return 0
 }
 

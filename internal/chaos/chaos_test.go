@@ -267,3 +267,57 @@ func TestParseSpecErrors(t *testing.T) {
 		t.Errorf("empty spec = %v, %v; want nil, nil", spec, err)
 	}
 }
+
+// TestParseSpecErrorStrings pins the exact error text of every ParseSpec
+// failure path: these strings are the CLI's only diagnostics for a bad
+// -chaos flag, so changing one is a user-visible break that should show
+// up in review, not in a bug report.
+func TestParseSpecErrorStrings(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string
+	}{
+		{"gibberish",
+			`chaos spec "gibberish": missing ':' (want kind:...)`},
+		{"warp:1@1ms",
+			`chaos spec "warp:1@1ms": unknown kind "warp" (want link|switch|plane|flap|poisson)`},
+		{"link:abc@1ms",
+			`chaos spec "link:abc@1ms": bad id "abc": strconv.ParseInt: parsing "abc": invalid syntax`},
+		{"link:1",
+			`chaos spec "link:1": missing '@' (want link:ID@T)`},
+		{"switch:1",
+			`chaos spec "switch:1": missing '@' (want switch:ID@T)`},
+		{"link:1@xx",
+			`chaos spec "link:1@xx": bad duration "xx": time: invalid duration "xx"`},
+		{"link:1@-1ms",
+			`chaos spec "link:1@-1ms": negative duration "-1ms"`},
+		{"link:1@1ms+0ms",
+			`chaos spec "link:1@1ms+0ms": duration must be positive, got "0ms"`},
+		{"flap:1@1ms",
+			`chaos spec "flap:1@1ms": missing '*' (want flap:ID@T*N/P)`},
+		{"flap:1@1ms*2",
+			`chaos spec "flap:1@1ms*2": missing '/' (want flap:ID@T*N/P)`},
+		{"flap:1@1ms*0/1ms",
+			`chaos spec "flap:1@1ms*0/1ms": bad cycle count "0"`},
+		{"flap:1@1ms*2/0ms",
+			`chaos spec "flap:1@1ms*2/0ms": period must be positive, got "0ms"`},
+		{"poisson:junk",
+			`chaos spec "poisson:junk": bad key=value "junk"`},
+		{"poisson:mttf=1ms,mttr=1ms,until=1ms,bogus=2",
+			`chaos spec "poisson:mttf=1ms,mttr=1ms,until=1ms,bogus=2": unknown key "bogus"`},
+		{"poisson:mttf=1ms",
+			`chaos spec "poisson:mttf=1ms": poisson needs positive mttf, mttr, until`},
+		{";;",
+			`chaos spec ";;": no entries`},
+	}
+	for _, c := range cases {
+		_, err := ParseSpec(c.spec)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) accepted", c.spec)
+			continue
+		}
+		if err.Error() != c.want {
+			t.Errorf("ParseSpec(%q)\n  got:  %s\n  want: %s", c.spec, err, c.want)
+		}
+	}
+}

@@ -126,3 +126,36 @@ func TestSpansSummaryWorkerInvariant(t *testing.T) {
 		t.Errorf("spans RunSummary differs between workers=1 and workers=8:\nserial: %+v\nwide:   %+v", serial, wide)
 	}
 }
+
+// TestFingerprintWorkerInvariant pins the determinism-fingerprint
+// contract: the rolling hash chains folded over every fired event —
+// global, host (timers), and per-plane — are identical at workers=1 and
+// workers=8. The chains are order-sensitive within an engine, so this
+// only holds because each sweep cell owns its engine; across engines the
+// summary XOR-folds, which no attach order can disturb.
+func TestFingerprintWorkerInvariant(t *testing.T) {
+	run := func(n int) *report.FingerprintSummary {
+		par.SetLimit(n)
+		defer par.SetLimit(0)
+		c := obs.NewCollector()
+		c.Fingerprint = true
+		aggr := report.NewAggregator()
+		c.Sink = aggr
+		c.DropSamples = true
+		e, _ := ByID("fig6c")
+		e.Run(Params{Seed: 1, Workers: n, Obs: c})
+		s := aggr.Summarize(c, report.Meta{Exp: "fig6c", Scale: "small", Seed: 1})
+		if s.Fingerprint == nil {
+			t.Fatalf("workers=%d: summary has no fingerprint", n)
+		}
+		return s.Fingerprint
+	}
+	serial := run(1)
+	wide := run(8)
+	if !reflect.DeepEqual(serial, wide) {
+		t.Errorf("fingerprints differ between workers=1 and workers=8:\nserial: %+v\nwide:   %+v", serial, wide)
+	}
+	if serial.Events == 0 || serial.Global == "0000000000000000" {
+		t.Fatalf("fingerprint is empty — the comparison proved nothing: %+v", serial)
+	}
+}

@@ -48,6 +48,14 @@ type Collector struct {
 	// engine; Close writes the per-(kind, plane) bins as profile records.
 	// Must be set before AttachNetwork.
 	Profile bool
+	// Fingerprint attaches a determinism fingerprinter to every attached
+	// engine; Close writes its epoch checkpoints as fingerprint records.
+	// Must be set before AttachNetwork.
+	Fingerprint bool
+	// FingerprintEpoch overrides the checkpoint cadence in events; zero
+	// selects sim.DefaultFingerprintEpoch. Must be set before
+	// AttachNetwork.
+	FingerprintEpoch int64
 	// TraceFlows, when non-empty, restricts the packet-trace stream to
 	// the listed flow IDs. Events for other flows return before a line is
 	// built — filtered tracing stays allocation-free.
@@ -62,11 +70,29 @@ type Collector struct {
 	mu       sync.Mutex // guards the record slices and attach bookkeeping
 	traceMu  sync.Mutex // serializes all JSONLSinks sharing tw
 	mw       *MetricsWriter
-	tw       *bufio.Writer // shared by every network's JSONLSink
+	jw       *MetricsWriter // fingerprint journal stream, if any
+	tw       *bufio.Writer  // shared by every network's JSONLSink
 	samplers []*Sampler
 	sinks    []*JSONLSink
 	profiles []profileEntry
+	fps      []fingerprintEntry
 	nets     int
+}
+
+// fingerprintEntry pairs a fingerprinter with the NetID it was attached
+// under, so checkpoint records carry the same Net as the engine's
+// samples in the metrics stream.
+type fingerprintEntry struct {
+	fp  *sim.Fingerprinter
+	net int
+}
+
+// FingerprintSnapshot is one engine's fingerprint state: its epoch
+// checkpoints (including the trailing partial one) and the cadence.
+type FingerprintSnapshot struct {
+	NetID       int
+	EpochEvents int64
+	Checkpoints []sim.FingerprintCheckpoint
 }
 
 // profileEntry pairs a flight recorder with its engine's conservative
@@ -100,6 +126,15 @@ func (c *Collector) StreamMetrics(w io.Writer) { c.mw = NewMetricsWriter(w) }
 // StreamTrace streams packet lifecycle events of every attached network
 // to w as JSONL.
 func (c *Collector) StreamTrace(w io.Writer) { c.tw = bufio.NewWriterSize(w, 1<<16) }
+
+// StreamFingerprintJournal streams every folded event of every attached
+// fingerprinter to w as fpev JSONL records — the heavyweight divergence-
+// debugging mode. Lines from different engines interleave in completion
+// order, so journal runs meant for event-level comparison should use
+// workers=1 (per-engine order is deterministic either way; `pnetstat
+// divergence` groups by net before comparing). Must be called before
+// AttachNetwork, and only with Fingerprint set.
+func (c *Collector) StreamFingerprintJournal(w io.Writer) { c.jw = NewMetricsWriter(w) }
 
 // MetricsLines returns the number of metric records written so far.
 func (c *Collector) MetricsLines() int64 {
@@ -160,6 +195,16 @@ func (c *Collector) AttachNetwork(eng *sim.Engine, net *sim.Network) *Sampler {
 	if c.Profile {
 		c.AttachProfile(eng, net)
 	}
+	if c.Fingerprint {
+		fp := sim.NewFingerprinter(c.FingerprintEpoch)
+		if c.jw != nil {
+			fp.Journal = c.journalFunc(id)
+		}
+		eng.Fingerprint = fp
+		c.mu.Lock()
+		c.fps = append(c.fps, fingerprintEntry{fp: fp, net: id})
+		c.mu.Unlock()
+	}
 	var sampler *Sampler
 	if c.mw != nil || c.AlwaysSample || c.Sink != nil {
 		sampler = NewSampler(eng, net, c.interval())
@@ -204,6 +249,38 @@ func (c *Collector) Profiles() []ProfileSnapshot {
 	for i, e := range c.profiles {
 		out = append(out, ProfileSnapshot{
 			NetID: i, Lookahead: e.lookahead, SimTime: e.eng.Now(), Bins: e.rec.Snapshot(),
+		})
+	}
+	return out
+}
+
+// journalFunc builds the per-engine journal hook: each folded event
+// becomes one fpev line on the journal stream. The closure allocates
+// once per engine at attach time; the per-event path allocates only what
+// encoding/json needs (journal mode is explicitly not the cheap path).
+func (c *Collector) journalFunc(netID int) func(sim.FingerprintJournalEntry) {
+	return func(e sim.FingerprintJournalEntry) {
+		c.jw.write(FingerprintEventRecord{
+			Type: KindFPEvent, Net: netID, Epoch: e.Epoch, I: e.Index,
+			TPs: int64(e.T), Kind: e.Kind.String(), Plane: e.Plane,
+			Link: e.Link, Flow: e.Flow, Seq: e.Seq, Size: e.Size,
+			Hash: FormatHash(e.Hash),
+		})
+	}
+}
+
+// Fingerprints snapshots every attached fingerprinter. Call it only
+// after the fingerprinted engines have stopped.
+func (c *Collector) Fingerprints() []FingerprintSnapshot {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]FingerprintSnapshot, 0, len(c.fps))
+	for _, e := range c.fps {
+		out = append(out, FingerprintSnapshot{
+			NetID: e.net, EpochEvents: e.fp.EpochEvents(), Checkpoints: e.fp.Checkpoints(),
 		})
 	}
 	return out
@@ -337,12 +414,20 @@ func (c *Collector) Merge(src *Collector) {
 	solver := append([]SolverRecord(nil), src.Solver...)
 	faults := append([]FaultRecord(nil), src.Faults...)
 	profiles := append([]profileEntry(nil), src.profiles...)
+	fps := append([]fingerprintEntry(nil), src.fps...)
 	src.mu.Unlock()
 	c.mu.Lock()
 	c.Flows = append(c.Flows, flows...)
 	c.Solver = append(c.Solver, solver...)
 	c.Faults = append(c.Faults, faults...)
 	c.profiles = append(c.profiles, profiles...)
+	for _, e := range fps {
+		// Re-key under this collector's NetID sequence: per-cell collectors
+		// each start at zero, so carried IDs would collide.
+		e.net = c.nets
+		c.nets++
+		c.fps = append(c.fps, e)
+	}
 	c.mu.Unlock()
 	c.Reg.Merge(src.Reg)
 }
@@ -372,10 +457,28 @@ func (c *Collector) Close() error {
 				})
 			}
 		}
+		for _, snap := range c.Fingerprints() {
+			for _, cp := range snap.Checkpoints {
+				r := FingerprintRecord{
+					Type: KindFingerprint, Net: snap.NetID, Epoch: cp.Epoch,
+					Events: cp.Events, TPs: int64(cp.T), EpochEvents: snap.EpochEvents,
+					Hash: FormatHash(cp.Global), Host: FormatHash(cp.Host), Final: cp.Partial,
+				}
+				for pl, h := range cp.Planes {
+					r.Planes = append(r.Planes, PlaneHash{Plane: int32(pl), Hash: FormatHash(h)})
+				}
+				c.mw.write(r)
+			}
+		}
 		for _, m := range c.Reg.Snapshot() {
 			c.mw.write(m)
 		}
 		if err := c.mw.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if c.jw != nil {
+		if err := c.jw.Flush(); err != nil && first == nil {
 			first = err
 		}
 	}

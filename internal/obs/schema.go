@@ -9,19 +9,26 @@ package obs
 // Every line in a metrics stream carries a "type" discriminator (one of
 // the Kind* constants); the packet-trace stream is all KindPacket lines.
 
-import "pnet/internal/sim"
+import (
+	"fmt"
+	"strconv"
+
+	"pnet/internal/sim"
+)
 
 // Record type discriminators, the "type" field of every JSONL line.
 const (
-	KindLink    = "link"
-	KindPlane   = "plane"
-	KindEngine  = "engine"
-	KindFlow    = "flow"
-	KindSolver  = "solver"
-	KindMetric  = "metric"
-	KindPacket  = "pkt"
-	KindFault   = "fault"
-	KindProfile = "profile"
+	KindLink        = "link"
+	KindPlane       = "plane"
+	KindEngine      = "engine"
+	KindFlow        = "flow"
+	KindSolver      = "solver"
+	KindMetric      = "metric"
+	KindPacket      = "pkt"
+	KindFault       = "fault"
+	KindProfile     = "profile"
+	KindFingerprint = "fp"
+	KindFPEvent     = "fpev"
 )
 
 // LinkRecord is one active link's state at one sampling instant. Util is
@@ -64,8 +71,11 @@ type EngineRecord struct {
 
 // FlowRecord captures one completed transport flow.
 type FlowRecord struct {
-	Type        string  `json:"type"` // "flow"
-	ID          int64   `json:"id"`
+	Type string `json:"type"` // "flow"
+	ID   int64  `json:"id"`
+	// TPs is the sim time the flow completed, in picoseconds — with FCT
+	// it anchors the flow's interval on a timeline (export-trace).
+	TPs         int64   `json:"t_ps,omitempty"`
 	Transport   string  `json:"transport"` // "tcp" | "ndp"
 	Src         int64   `json:"src"`
 	Dst         int64   `json:"dst"`
@@ -124,6 +134,72 @@ type ProfileRecord struct {
 func ValidEventKind(name string) bool {
 	_, ok := sim.ParseEventKind(name)
 	return ok
+}
+
+// FingerprintRecord is one epoch checkpoint of an engine's determinism
+// hash chain (internal/sim fingerprints), written when the collector
+// closes. Hashes are rendered as 16-digit hex strings, not JSON numbers:
+// uint64 values above 2^53 would be silently rounded by any consumer
+// that parses them as float64. Net identifies the engine within this
+// stream only — attach order is nondeterministic under workers > 1, so
+// cross-run comparison pairs engines canonically by hash sequence (see
+// internal/report divergence), never by Net.
+type FingerprintRecord struct {
+	Type   string `json:"type"` // "fp"
+	Net    int    `json:"net"`
+	Epoch  int64  `json:"epoch"`
+	Events int64  `json:"events"` // cumulative events at this checkpoint
+	TPs    int64  `json:"t_ps"`   // sim time of the last folded event
+	// EpochEvents is the checkpoint cadence, repeated on every record so
+	// a reader can validate two streams used the same cadence.
+	EpochEvents int64       `json:"epoch_events"`
+	Hash        string      `json:"hash"` // global chain, %016x
+	Host        string      `json:"host"` // plane-less (timer) chain
+	Planes      []PlaneHash `json:"planes,omitempty"`
+	// Final marks the trailing partial checkpoint of an epoch still in
+	// progress when the run ended.
+	Final bool `json:"final,omitempty"`
+}
+
+// PlaneHash is one dataplane's chain value within a checkpoint.
+type PlaneHash struct {
+	Plane int32  `json:"plane"`
+	Hash  string `json:"hash"`
+}
+
+// FingerprintEventRecord is one folded event of a fingerprint journal —
+// the per-event stream a divergence re-run records so the first
+// divergent event can be named exactly. I is the event's 0-based index
+// within its epoch; Hash is the global chain after folding it.
+type FingerprintEventRecord struct {
+	Type  string `json:"type"` // "fpev"
+	Net   int    `json:"net"`
+	Epoch int64  `json:"epoch"`
+	I     int64  `json:"i"`
+	TPs   int64  `json:"t_ps"`
+	Kind  string `json:"kind"`  // hop | deliver | tx | timer
+	Plane int32  `json:"plane"` // -1 for timer (no plane)
+	Link  int64  `json:"link"`  // -1 for timer
+	Flow  int64  `json:"flow,omitempty"`
+	Seq   int64  `json:"seq,omitempty"`
+	Size  int32  `json:"size,omitempty"`
+	Hash  string `json:"hash"`
+}
+
+// FormatHash renders a chain value as the fixed-width hex string the
+// fingerprint records carry.
+func FormatHash(h uint64) string { return fmt.Sprintf("%016x", h) }
+
+// ParseHash inverts FormatHash.
+func ParseHash(s string) (uint64, error) {
+	if len(s) != 16 {
+		return 0, fmt.Errorf("obs: hash %q: want 16 hex digits", s)
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("obs: hash %q: %v", s, err)
+	}
+	return v, nil
 }
 
 // SolverRecord captures one LP/flow-solver invocation: which experiment

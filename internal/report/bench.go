@@ -114,6 +114,30 @@ func LoadRun(path string, m Meta) (RunSummary, error) {
 	return FromStream(st, m), nil
 }
 
+// LoadStream reads a raw metrics JSONL stream, for subcommands that
+// need record-level data (fingerprint checkpoints, journals, trace
+// export) which the aggregate RunSummary no longer carries. A summary
+// JSON is rejected with a pointer at the right input; a truncated final
+// line is tolerated like LoadRun.
+func LoadStream(path string) (*Stream, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if isSummaryJSON(b) {
+		return nil, fmt.Errorf("%s: is a RunSummary JSON; this command needs the raw metrics JSONL stream (pnetbench -metrics)", path)
+	}
+	st, rerr := ReadStream(bytes.NewReader(b))
+	if rerr != nil {
+		var pe *ParseError
+		if !errors.As(rerr, &pe) || !pe.Truncated {
+			return st, fmt.Errorf("%s: %w", path, rerr)
+		}
+		// Tolerated: a stream cut off mid-write keeps its prefix.
+	}
+	return st, nil
+}
+
 // isSummaryJSON distinguishes one indented RunSummary object from a
 // JSONL stream: a stream's first line is a complete object mentioning a
 // "type" discriminator, a summary starts with "schema_version".

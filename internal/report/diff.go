@@ -218,6 +218,23 @@ func Diff(base, cur RunSummary, t Thresholds) DiffReport {
 		}
 	}
 
+	// Determinism fingerprints compare only when both runs carry them (a
+	// fingerprint-free baseline pins nothing). Hashes either match or
+	// they don't: a mismatch is rendered as a 0→1 gated delta, which
+	// exceeds every sane threshold — exactly the semantics we want for
+	// "these runs did not execute the same events".
+	if base.Fingerprint != nil && cur.Fingerprint != nil {
+		bf, cf := base.Fingerprint, cur.Fingerprint
+		mismatch := 0.0
+		if bf.Global != cf.Global {
+			mismatch = 1
+		}
+		add("fingerprint.global.mismatch", 0, mismatch, higherWorse, true)
+		add("fingerprint.events", float64(bf.Events), float64(cf.Events), higherWorse, true)
+	} else if cur.Fingerprint != nil {
+		added("fingerprint.events", float64(cur.Fingerprint.Events))
+	}
+
 	// Go benchmarks, matched by name; wall-clock, so gated only with
 	// GateWall. Allocations are deterministic and always gated.
 	curBench := map[string]GoBench{}

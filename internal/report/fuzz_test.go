@@ -1,0 +1,51 @@
+package report
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzStream hammers the JSONL reader with corrupted input: whatever
+// arrives, ReadStream must return a usable (possibly partial) Stream
+// and either nil or one of its typed errors — never panic, never an
+// anonymous error the CLI can't classify.
+func FuzzStream(f *testing.F) {
+	seeds := []string{
+		goodStream,
+		"",
+		"\n\n\n",
+		"not json at all\n",
+		`{"type":"flow","id":7`, // cut off mid-record, no newline
+		goodStream[:len(goodStream)-30],
+		`{"type":"martian","x":1}` + "\n",
+		`{"type":""}` + "\n",
+		`{"no_type_at_all":true}` + "\n",
+		`{"type":"flow","id":"seven"}` + "\n", // wrong field type
+		`{"type":"pkt","ev":"warp","t_ps":-1}` + "\n",
+		`{"type":"fp","net":0,"epoch":1,"events":32,"epoch_events":32,"hash":"zz"}` + "\n",
+		`{"type":"fp","net":0,"epoch":1,"events":32,"epoch_events":0,"hash":"0123456789abcdef","host":"0123456789abcdef"}` + "\n",
+		`{"type":"fpev","net":0,"epoch":1,"i":0,"kind":"hop","hash":"0123"}` + "\n",
+		// Mixed: valid records, then a schema the reader predates.
+		goodStream + `{"type":"fp","net":0,"epoch":0,"events":64,"epoch_events":64,"hash":"0123456789abcdef","host":"0123456789abcdef"}` + "\n" + `{"type":"from_the_future","v":2}` + "\n",
+		"\x00\x01\x02",
+		`[1,2,3]` + "\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := ReadStream(bytes.NewReader(data))
+		if st == nil {
+			t.Fatal("ReadStream returned a nil stream")
+		}
+		if err == nil {
+			return
+		}
+		var pe *ParseError
+		var uk *UnknownKindError
+		if !errors.As(err, &pe) && !errors.As(err, &uk) && !errors.Is(err, ErrEmptyStream) {
+			t.Fatalf("untyped error %T: %v", err, err)
+		}
+	})
+}

@@ -30,6 +30,10 @@ type Stream struct {
 	Packets  []obs.PacketRecord
 	Faults   []obs.FaultRecord
 	Profiles []obs.ProfileRecord
+	// Fingerprints are determinism-chain epoch checkpoints; FPEvents are
+	// per-event journal records from a divergence re-run.
+	Fingerprints []obs.FingerprintRecord
+	FPEvents     []obs.FingerprintEventRecord
 	// Lines counts successfully decoded records.
 	Lines int
 }
@@ -184,6 +188,38 @@ func (s *Stream) decodeLine(b []byte) error {
 			return fmt.Errorf("profile net %d: unknown event kind %q", r.Net, r.Kind)
 		}
 		s.Profiles = append(s.Profiles, r)
+	case obs.KindFingerprint:
+		var r obs.FingerprintRecord
+		if err := json.Unmarshal(b, &r); err != nil {
+			return err
+		}
+		if _, err := obs.ParseHash(r.Hash); err != nil {
+			return fmt.Errorf("fingerprint net %d epoch %d: %v", r.Net, r.Epoch, err)
+		}
+		if _, err := obs.ParseHash(r.Host); err != nil {
+			return fmt.Errorf("fingerprint net %d epoch %d: %v", r.Net, r.Epoch, err)
+		}
+		for _, p := range r.Planes {
+			if _, err := obs.ParseHash(p.Hash); err != nil {
+				return fmt.Errorf("fingerprint net %d epoch %d plane %d: %v", r.Net, r.Epoch, p.Plane, err)
+			}
+		}
+		if r.EpochEvents <= 0 {
+			return fmt.Errorf("fingerprint net %d epoch %d: epoch_events %d, want > 0", r.Net, r.Epoch, r.EpochEvents)
+		}
+		s.Fingerprints = append(s.Fingerprints, r)
+	case obs.KindFPEvent:
+		var r obs.FingerprintEventRecord
+		if err := json.Unmarshal(b, &r); err != nil {
+			return err
+		}
+		if !obs.ValidEventKind(r.Kind) {
+			return fmt.Errorf("fpev net %d epoch %d i %d: unknown event kind %q", r.Net, r.Epoch, r.I, r.Kind)
+		}
+		if _, err := obs.ParseHash(r.Hash); err != nil {
+			return fmt.Errorf("fpev net %d epoch %d i %d: %v", r.Net, r.Epoch, r.I, err)
+		}
+		s.FPEvents = append(s.FPEvents, r)
 	default:
 		return &UnknownKindError{Kind: h.Type}
 	}

@@ -72,6 +72,23 @@ type FaultSummary struct {
 	DipFrac         Dist `json:"dip_frac"`
 }
 
+// FingerprintSummary folds the per-engine determinism chains into
+// run-level invariants. Global, Host, and Planes are XOR folds of each
+// engine's final chain value — XOR is commutative, so the fold is
+// independent of engine attach order and therefore of worker count,
+// even though the engines' NetIDs are not. Two runs of the same
+// experiment at the same seed must match on every field.
+type FingerprintSummary struct {
+	Engines     int   `json:"engines"`
+	EpochEvents int64 `json:"epoch_events"`
+	Events      int64 `json:"events"` // total events folded, all engines
+	// Global/Host and the plane hashes are 16-digit hex (see
+	// obs.FormatHash).
+	Global string          `json:"global"`
+	Host   string          `json:"host"`
+	Planes []obs.PlaneHash `json:"planes,omitempty"`
+}
+
 // GoBench is one `go test -bench` result folded into the trajectory.
 type GoBench struct {
 	Name        string             `json:"name"`
@@ -128,6 +145,10 @@ type RunSummary struct {
 	// of older baselines, which keeps the schema backward compatible.
 	Faults *FaultSummary `json:"faults,omitempty"`
 
+	// Fingerprint is the run's determinism fingerprint, present only for
+	// runs that enabled it (pnetbench -fingerprint).
+	Fingerprint *FingerprintSummary `json:"fingerprint,omitempty"`
+
 	GoBench []GoBench `json:"go_bench,omitempty"`
 }
 
@@ -177,6 +198,17 @@ type agg struct {
 	profSimPs   int64 // profiled sim time, summed over engines
 	profLookPs  int64 // conservative PDES lookahead (max over engines)
 	profNets    map[int]bool
+
+	// Determinism fingerprints: XOR folds of each engine's final chains
+	// (commutative, so worker count cannot change them). The stream path
+	// keeps the last checkpoint seen per net and folds at summary time.
+	fpEngines int
+	fpEpoch   int64
+	fpEvents  int64
+	fpGlobal  uint64
+	fpHost    uint64
+	fpPlanes  []uint64
+	fpLast    map[int]obs.FingerprintRecord
 }
 
 func newAgg() *agg {
@@ -187,7 +219,42 @@ func newAgg() *agg {
 		spanPs:     map[[2]int64]int64{},
 		profBins:   map[[2]int64][2]int64{},
 		profNets:   map[int]bool{},
+		fpLast:     map[int]obs.FingerprintRecord{},
 	}
+}
+
+// foldFP XORs one engine's final chain state into the run-level fold.
+func (a *agg) foldFP(events int64, epoch int64, global, host uint64, planes []uint64) {
+	a.fpEngines++
+	a.fpEvents += events
+	if epoch > a.fpEpoch {
+		a.fpEpoch = epoch
+	}
+	a.fpGlobal ^= global
+	a.fpHost ^= host
+	for pl, h := range planes {
+		for pl >= len(a.fpPlanes) {
+			a.fpPlanes = append(a.fpPlanes, 0)
+		}
+		a.fpPlanes[pl] ^= h
+	}
+}
+
+// addFingerprintSnapshot folds one engine's fingerprint state (the
+// in-memory collector path). The final checkpoint carries the chains.
+func (a *agg) addFingerprintSnapshot(snap obs.FingerprintSnapshot) {
+	if len(snap.Checkpoints) == 0 {
+		return
+	}
+	cp := snap.Checkpoints[len(snap.Checkpoints)-1]
+	a.foldFP(cp.Events, snap.EpochEvents, cp.Global, cp.Host, cp.Planes)
+}
+
+// addFingerprintRecord folds one JSONL checkpoint (the stream path):
+// checkpoints are cumulative, so only the last one per net counts.
+// Records arrive in epoch order within a net, so last-write wins.
+func (a *agg) addFingerprintRecord(r obs.FingerprintRecord) {
+	a.fpLast[r.Net] = r
 }
 
 func (a *agg) addFault(r obs.FaultRecord) {
@@ -385,6 +452,34 @@ func (a *agg) summary(m Meta) RunSummary {
 		s.GoodputBps = float64(a.bytes) * 8 / s.Engine.SimSec
 	}
 
+	// Fold stream-path checkpoints in (XOR — order-free), then render.
+	for _, r := range a.fpLast {
+		g, _ := obs.ParseHash(r.Hash) // the reader validated these
+		h, _ := obs.ParseHash(r.Host)
+		planes := make([]uint64, 0, len(r.Planes))
+		for _, p := range r.Planes {
+			for int(p.Plane) >= len(planes) {
+				planes = append(planes, 0)
+			}
+			v, _ := obs.ParseHash(p.Hash)
+			planes[p.Plane] = v
+		}
+		a.foldFP(r.Events, r.EpochEvents, g, h, planes)
+	}
+	if a.fpEngines > 0 {
+		fp := &FingerprintSummary{
+			Engines:     a.fpEngines,
+			EpochEvents: a.fpEpoch,
+			Events:      a.fpEvents,
+			Global:      obs.FormatHash(a.fpGlobal),
+			Host:        obs.FormatHash(a.fpHost),
+		}
+		for pl, h := range a.fpPlanes {
+			fp.Planes = append(fp.Planes, obs.PlaneHash{Plane: int32(pl), Hash: obs.FormatHash(h)})
+		}
+		s.Fingerprint = fp
+	}
+
 	s.Attribution = a.attributionSummary(s.FCT.P999)
 	s.Profile = a.profileSummary()
 	return s
@@ -449,6 +544,9 @@ func (x *Aggregator) Summarize(c *obs.Collector, m Meta) RunSummary {
 	for _, snap := range c.Profiles() {
 		x.a.addProfileSnapshot(snap)
 	}
+	for _, snap := range c.Fingerprints() {
+		x.a.addFingerprintSnapshot(snap)
+	}
 	x.a.engines = len(c.Samplers())
 	return x.a.summary(m)
 }
@@ -483,6 +581,9 @@ func FromCollector(c *obs.Collector, m Meta) RunSummary {
 	for _, snap := range c.Profiles() {
 		a.addProfileSnapshot(snap)
 	}
+	for _, snap := range c.Fingerprints() {
+		a.addFingerprintSnapshot(snap)
+	}
 	return a.summary(m)
 }
 
@@ -511,6 +612,9 @@ func FromStream(st *Stream, m Meta) RunSummary {
 	}
 	for _, r := range st.Profiles {
 		a.addProfileRecord(r)
+	}
+	for _, r := range st.Fingerprints {
+		a.addFingerprintRecord(r)
 	}
 	a.engines = len(nets)
 	return a.summary(m)
@@ -605,6 +709,10 @@ func (s RunSummary) String() string {
 			fmt.Fprintf(&b, ", pdes bound %.2fx", p.SpeedupEventBound)
 		}
 		b.WriteString(" (pnetstat profile for detail)\n")
+	}
+	if fp := s.Fingerprint; fp != nil {
+		fmt.Fprintf(&b, "fingerprint: global=%s host=%s (%d events, %d engines, epoch %d)\n",
+			fp.Global, fp.Host, fp.Events, fp.Engines, fp.EpochEvents)
 	}
 	if f := s.Faults; f != nil {
 		fmt.Fprintf(&b, "faults: %d injected, %d cleared, %d detected; %d blackholed",

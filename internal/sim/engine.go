@@ -80,6 +80,11 @@ type Engine struct {
 	// wall time) — the event-loop flight recorder behind `pnetstat
 	// profile`. Nil costs one branch per event.
 	Recorder *FlightRecorder
+
+	// Fingerprint, when set, folds every dispatched event into a rolling
+	// determinism hash chain (see fingerprint.go). Nil costs one branch
+	// per event, same as Recorder.
+	Fingerprint *Fingerprinter
 }
 
 // NewEngine returns an engine at time zero.
@@ -138,8 +143,8 @@ func (e *Engine) schedule(at Time, who actor) {
 
 // fire dispatches a popped event, recycling pooled ones.
 func (e *Engine) fire(ev *Event) {
-	if e.Recorder != nil {
-		e.fireProfiled(ev)
+	if e.Recorder != nil || e.Fingerprint != nil {
+		e.fireInstrumented(ev)
 		return
 	}
 	e.now = ev.at

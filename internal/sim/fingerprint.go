@@ -1,0 +1,218 @@
+package sim
+
+// Determinism fingerprints: a rolling 64-bit hash chain over every event
+// the engine fires, folded per dataplane and globally, with a checkpoint
+// every epoch (N events). The chain is the determinism contract of
+// ROADMAP item 1 made checkable: two runs that fired the same events in
+// the same order at the same simulated times carry identical chains, and
+// the first divergent epoch (then, with a journal, the first divergent
+// event) can be found by bisection instead of by staring at report
+// diffs. Attach one per engine (Engine.Fingerprint); a nil fingerprinter
+// costs one branch per event, same as the flight recorder.
+//
+// The chain deliberately hashes only simulated quantities — timestamp,
+// event kind, plane, link, flow, sequence, size — never wall time or
+// heap addresses, so it is invariant across worker counts, machines, and
+// runs of the same binary. Plane chains fold only that plane's events;
+// events with no plane (timers) fold into the host chain. XOR-folding
+// final chains across engines is therefore order-free, which is what
+// makes the run-level fingerprint worker-count invariant even though
+// engines attach in completion order.
+
+// DefaultFingerprintEpoch is the checkpoint cadence when none is given:
+// one checkpoint per 65536 events keeps checkpoint streams small (a few
+// hundred lines per engine on the paper's small-scale runs) while
+// bounding the journal a divergence re-run must record to one epoch.
+const DefaultFingerprintEpoch = 1 << 16
+
+// mix64 is the splitmix64 finalizer: a cheap, well-dispersed 64-bit
+// permutation. Chaining it (h = mix64(h ^ v)) makes the fingerprint
+// order-sensitive — swapping two events changes every later value.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// FingerprintCheckpoint is the chain state at one epoch boundary.
+type FingerprintCheckpoint struct {
+	// Epoch is the 0-based index of the epoch this checkpoint closes.
+	Epoch int64
+	// Events is the cumulative event count at the checkpoint.
+	Events int64
+	// T is the simulated time of the last folded event.
+	T Time
+	// Global, Host, and Planes are the cumulative chains: every event,
+	// plane-less (timer) events, and per-plane events respectively.
+	Global uint64
+	Host   uint64
+	Planes []uint64
+	// Partial marks a trailing checkpoint synthesized at snapshot time
+	// for an epoch still in progress (Events is not a multiple of the
+	// cadence).
+	Partial bool
+}
+
+// FingerprintJournalEntry is one folded event, as seen by the optional
+// journal hook — the record a divergence re-run writes so `pnetstat
+// divergence` can name the exact event two runs first disagreed on.
+type FingerprintJournalEntry struct {
+	Epoch int64
+	Index int64 // 0-based position within the epoch
+	T     Time
+	Kind  EventKind
+	Plane int32
+	Link  int64
+	Flow  int64
+	Seq   int64
+	Size  int32
+	Hash  uint64 // global chain after folding this event
+}
+
+// Fingerprinter folds fired events into the hash chains. It belongs to
+// exactly one engine (single-threaded, no atomics); run-level folds
+// happen in internal/report. The hot path is allocation-free once the
+// plane slice is warm; checkpoints allocate once per epoch.
+type Fingerprinter struct {
+	epoch  int64 // events per checkpoint
+	events int64
+	global uint64
+	host   uint64
+	planes []uint64
+	lastT  Time
+	cps    []FingerprintCheckpoint
+
+	// Journal, when non-nil, receives every folded event. This is the
+	// heavyweight divergence-debugging mode (one record per event); leave
+	// it nil for fingerprint-only runs.
+	Journal func(FingerprintJournalEntry)
+}
+
+// NewFingerprinter returns a fingerprinter checkpointing every
+// epochEvents events (<= 0 selects DefaultFingerprintEpoch).
+func NewFingerprinter(epochEvents int64) *Fingerprinter {
+	if epochEvents <= 0 {
+		epochEvents = DefaultFingerprintEpoch
+	}
+	return &Fingerprinter{epoch: epochEvents}
+}
+
+// EpochEvents returns the checkpoint cadence.
+func (f *Fingerprinter) EpochEvents() int64 { return f.epoch }
+
+// Events returns the number of events folded so far.
+func (f *Fingerprinter) Events() int64 { return f.events }
+
+// Chains returns the cumulative global chain, the host (plane-less)
+// chain, and the per-plane chains. Callers must not mutate the slice.
+func (f *Fingerprinter) Chains() (global, host uint64, planes []uint64) {
+	return f.global, f.host, f.planes
+}
+
+// Fold folds one event described by its simulated identity — the entry
+// point for replay and divergence tooling outside the engine (the
+// engine's dispatch path calls fold directly with its classification).
+// Plane is -1 for plane-less events, link -1 for non-packet events.
+func (f *Fingerprinter) Fold(t Time, kind EventKind, plane int32, link, flow, seq int64, size int32) {
+	f.fold(t, eventInfo{kind: kind, plane: plane, link: link, flow: flow, seq: seq, size: size})
+}
+
+// fold mixes one fired event into the chains. Only simulated quantities
+// enter the hash; see the package comment for why.
+func (f *Fingerprinter) fold(t Time, info eventInfo) {
+	v := mix64(uint64(t) ^ uint64(info.kind)<<56 ^ uint64(uint32(info.plane))<<40)
+	v = mix64(v ^ uint64(info.link)<<32 ^ uint64(uint32(info.size)))
+	v = mix64(v ^ uint64(info.flow)<<16 ^ uint64(info.seq))
+	f.global = mix64(f.global ^ v)
+	if info.plane < 0 {
+		f.host = mix64(f.host ^ v)
+	} else {
+		for int(info.plane) >= len(f.planes) {
+			f.planes = append(f.planes, 0)
+		}
+		f.planes[info.plane] = mix64(f.planes[info.plane] ^ v)
+	}
+	f.lastT = t
+	idx := f.events % f.epoch
+	f.events++
+	if f.Journal != nil {
+		f.Journal(FingerprintJournalEntry{
+			Epoch: (f.events - 1) / f.epoch, Index: idx, T: t,
+			Kind: info.kind, Plane: info.plane, Link: info.link,
+			Flow: info.flow, Seq: info.seq, Size: info.size,
+			Hash: f.global,
+		})
+	}
+	if f.events%f.epoch == 0 {
+		f.cps = append(f.cps, f.checkpoint(false))
+	}
+}
+
+func (f *Fingerprinter) checkpoint(partial bool) FingerprintCheckpoint {
+	epoch := (f.events - 1) / f.epoch
+	if f.events == 0 {
+		epoch = 0
+	}
+	return FingerprintCheckpoint{
+		Epoch:   epoch,
+		Events:  f.events,
+		T:       f.lastT,
+		Global:  f.global,
+		Host:    f.host,
+		Planes:  append([]uint64(nil), f.planes...),
+		Partial: partial,
+	}
+}
+
+// Checkpoints returns the epoch checkpoints recorded so far plus, when
+// events have been folded past the last boundary, a trailing Partial
+// checkpoint with the current chain state — so a run whose event count
+// is not a multiple of the cadence still ends on a comparable record.
+// Idempotent; call after the engine has stopped.
+func (f *Fingerprinter) Checkpoints() []FingerprintCheckpoint {
+	out := append([]FingerprintCheckpoint(nil), f.cps...)
+	if f.events%f.epoch != 0 {
+		out = append(out, f.checkpoint(true))
+	}
+	return out
+}
+
+// eventInfo classifies one dispatched event for the flight recorder and
+// the fingerprinter: what kind of work it is, which plane owns it, and
+// the packet identity (link/flow/seq/size; -1/0 when not a packet).
+type eventInfo struct {
+	kind  EventKind
+	plane int32
+	link  int64
+	flow  int64
+	seq   int64
+	size  int32
+}
+
+// classify extracts an event's identity from its actor. It must run
+// before dispatch: pooled events are recycled the moment they fire.
+func classify(who actor) eventInfo {
+	info := eventInfo{kind: EvTimer, plane: -1, link: -1}
+	switch a := who.(type) {
+	case *Packet:
+		link := a.Route[a.Hop]
+		info.link = int64(link)
+		info.plane = a.net.queues[link].plane
+		info.flow = a.FlowID
+		info.seq = a.Seq
+		info.size = a.Size
+		if int(a.Hop) == len(a.Route)-1 {
+			info.kind = EvDeliver
+		} else {
+			info.kind = EvHop
+		}
+	case *queue:
+		info.kind = EvTx
+		info.plane = a.plane
+		info.link = int64(a.id)
+	}
+	return info
+}

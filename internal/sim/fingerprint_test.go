@@ -1,0 +1,158 @@
+package sim
+
+import "testing"
+
+// fpRun sends n packets end to end on a warm hostPair network with the
+// given fingerprinter attached and returns its final chains.
+func fpRun(n int, f *Fingerprinter) *Fingerprinter {
+	eng, net, fwd, _ := hostPair(100, Config{})
+	eng.Fingerprint = f
+	s := &releaseSink{net: net}
+	for i := 0; i < n; i++ {
+		p := net.NewPacket()
+		p.Size = 1500
+		p.Route = fwd
+		p.Deliver = s
+		p.FlowID = int64(i%4 + 1)
+		p.Seq = int64(i)
+		net.Send(p)
+		eng.Run()
+	}
+	return f
+}
+
+// TestFingerprintDeterministic: identical runs produce identical chains;
+// a run with different content diverges in every chain it touches.
+func TestFingerprintDeterministic(t *testing.T) {
+	a := fpRun(50, NewFingerprinter(16))
+	b := fpRun(50, NewFingerprinter(16))
+	ag, ah, ap := a.Chains()
+	bg, bh, bp := b.Chains()
+	if ag != bg || ah != bh {
+		t.Fatalf("identical runs diverged: global %016x vs %016x, host %016x vs %016x", ag, bg, ah, bh)
+	}
+	if len(ap) != len(bp) {
+		t.Fatalf("plane chain counts differ: %d vs %d", len(ap), len(bp))
+	}
+	for i := range ap {
+		if ap[i] != bp[i] {
+			t.Errorf("plane %d chains diverged: %016x vs %016x", i, ap[i], bp[i])
+		}
+	}
+	if a.Events() != b.Events() || a.Events() == 0 {
+		t.Fatalf("event counts %d vs %d — comparison proved nothing", a.Events(), b.Events())
+	}
+	c := fpRun(51, NewFingerprinter(16))
+	if cg, _, _ := c.Chains(); cg == ag {
+		t.Errorf("runs with different event content share global chain %016x", cg)
+	}
+}
+
+// TestFingerprintCheckpoints pins the cadence math: one checkpoint per
+// full epoch, cumulative event counts, a trailing Partial checkpoint for
+// the in-progress epoch, and idempotent snapshots.
+func TestFingerprintCheckpoints(t *testing.T) {
+	f := fpRun(50, NewFingerprinter(16))
+	cps := f.Checkpoints()
+	if len(cps) == 0 {
+		t.Fatal("no checkpoints recorded")
+	}
+	total := f.Events()
+	wantFull := total / 16
+	wantPartial := total%16 != 0
+	n := int(wantFull)
+	if wantPartial {
+		n++
+	}
+	if len(cps) != n {
+		t.Fatalf("got %d checkpoints, want %d (events=%d, epoch=16)", len(cps), n, total)
+	}
+	for i, cp := range cps {
+		last := i == len(cps)-1
+		if cp.Partial != (wantPartial && last) {
+			t.Errorf("checkpoint %d: Partial=%v unexpectedly", i, cp.Partial)
+		}
+		if !cp.Partial {
+			if cp.Events != int64(i+1)*16 {
+				t.Errorf("checkpoint %d: Events=%d, want %d", i, cp.Events, (i+1)*16)
+			}
+			if cp.Epoch != int64(i) {
+				t.Errorf("checkpoint %d: Epoch=%d, want %d", i, cp.Epoch, i)
+			}
+		}
+	}
+	final := cps[len(cps)-1]
+	g, h, _ := f.Chains()
+	if final.Events != total || final.Global != g || final.Host != h {
+		t.Errorf("final checkpoint %+v does not match live chains (events=%d global=%016x host=%016x)", final, total, g, h)
+	}
+	again := f.Checkpoints()
+	if len(again) != len(cps) {
+		t.Errorf("Checkpoints not idempotent: %d then %d", len(cps), len(again))
+	}
+}
+
+// TestFingerprintJournal: the journal sees every folded event in order,
+// with epoch/index bookkeeping matching the checkpoint cadence and the
+// running hash equal to the global chain.
+func TestFingerprintJournal(t *testing.T) {
+	f := NewFingerprinter(8)
+	var entries []FingerprintJournalEntry
+	f.Journal = func(e FingerprintJournalEntry) { entries = append(entries, e) }
+	fpRun(20, f)
+	if int64(len(entries)) != f.Events() {
+		t.Fatalf("journal has %d entries, engine fired %d", len(entries), f.Events())
+	}
+	for i, e := range entries {
+		if e.Epoch != int64(i)/8 || e.Index != int64(i)%8 {
+			t.Errorf("entry %d: epoch/index = %d/%d, want %d/%d", i, e.Epoch, e.Index, i/8, i%8)
+		}
+	}
+	g, _, _ := f.Chains()
+	if last := entries[len(entries)-1]; last.Hash != g {
+		t.Errorf("last journal hash %016x != global chain %016x", last.Hash, g)
+	}
+}
+
+// TestFingerprintOrderSensitive: folding the same two events in swapped
+// order must change the chain — the property divergence bisection needs.
+func TestFingerprintOrderSensitive(t *testing.T) {
+	a := NewFingerprinter(0)
+	b := NewFingerprinter(0)
+	e1 := eventInfo{kind: EvHop, plane: 0, link: 3, flow: 1, seq: 10, size: 1500}
+	e2 := eventInfo{kind: EvHop, plane: 0, link: 3, flow: 2, seq: 10, size: 1500}
+	a.fold(100, e1)
+	a.fold(100, e2)
+	b.fold(100, e2)
+	b.fold(100, e1)
+	ag, _, _ := a.Chains()
+	bg, _, _ := b.Chains()
+	if ag == bg {
+		t.Fatalf("swapping two events left global chain unchanged: %016x", ag)
+	}
+}
+
+// TestPacketPathZeroAllocFingerprint extends the zero-alloc guard to the
+// fingerprint-enabled path: once the plane slice is warm and no epoch
+// boundary lands inside the measured window, folding costs nothing. The
+// epoch is set high enough that no checkpoint append happens mid-run.
+func TestPacketPathZeroAllocFingerprint(t *testing.T) {
+	eng, net, fwd, _ := hostPair(100, Config{})
+	eng.Fingerprint = NewFingerprinter(1 << 40)
+	s := &releaseSink{net: net}
+	send := func() {
+		p := net.NewPacket()
+		p.Size = 1500
+		p.Route = fwd
+		p.Deliver = s
+		p.FlowID = 7
+		net.Send(p)
+		eng.Run()
+	}
+	for i := 0; i < 64; i++ {
+		send() // warm pools and the per-plane chain slice
+	}
+	if avg := testing.AllocsPerRun(100, send); avg != 0 {
+		t.Errorf("allocs per packet with fingerprinting = %v, want 0", avg)
+	}
+}

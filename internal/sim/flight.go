@@ -126,14 +126,15 @@ func (r *FlightRecorder) Snapshot() []ProfileBin {
 	return out
 }
 
-// fireProfiled is Engine.fire with classification and timing around the
-// dispatch. It must mirror fire exactly; the classification reads the
-// actor before dispatch because pooled events are recycled on firing.
-func (e *Engine) fireProfiled(ev *Event) {
+// fireInstrumented is Engine.fire with classification around the
+// dispatch, feeding the flight recorder (with wall timing) and/or the
+// fingerprinter (simulated quantities only — no clock reads, so a
+// fingerprint-only run stays cheap). It must mirror fire exactly; the
+// classification reads the actor before dispatch because pooled events
+// are recycled on firing.
+func (e *Engine) fireInstrumented(ev *Event) {
 	e.now = ev.at
 	e.fired++
-	kind := EvTimer
-	plane := int32(-1)
 	var who actor
 	fn := ev.fn
 	if ev.who != nil {
@@ -141,18 +142,18 @@ func (e *Engine) fireProfiled(ev *Event) {
 		ev.who = nil
 		ev.next = e.free
 		e.free = ev
-		switch a := who.(type) {
-		case *Packet:
-			plane = a.net.queues[a.Route[a.Hop]].plane
-			if int(a.Hop) == len(a.Route)-1 {
-				kind = EvDeliver
-			} else {
-				kind = EvHop
-			}
-		case *queue:
-			kind = EvTx
-			plane = a.plane
+	}
+	info := classify(who)
+	if e.Fingerprint != nil {
+		e.Fingerprint.fold(ev.at, info)
+	}
+	if e.Recorder == nil {
+		if who != nil {
+			who.act()
+		} else {
+			fn()
 		}
+		return
 	}
 	start := time.Now()
 	if who != nil {
@@ -160,5 +161,5 @@ func (e *Engine) fireProfiled(ev *Event) {
 	} else {
 		fn()
 	}
-	e.Recorder.record(kind, plane, time.Since(start).Nanoseconds())
+	e.Recorder.record(info.kind, info.plane, time.Since(start).Nanoseconds())
 }

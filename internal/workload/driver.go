@@ -230,6 +230,7 @@ func (d *Driver) StartFlowOnPaths(paths []graph.Path, sizeBytes int64,
 		if d.Obs != nil {
 			d.Obs.RecordFlow(obs.FlowRecord{
 				ID:          fl.ID,
+				TPs:         int64(d.Eng.Now()),
 				Transport:   "tcp",
 				Src:         int64(paths[0].Src(d.Net.G)),
 				Dst:         int64(paths[0].Dst(d.Net.G)),
