@@ -38,7 +38,13 @@
 // concurrently (0 = one per core, 1 = serial). Every cell owns its own
 // engine and RNG, so tables are byte-identical at any worker count; the
 // run header and footer on stderr record the effective width and total
-// wall time. See DESIGN.md "Parallel execution".
+// wall time. See DESIGN.md "Parallel execution". -shards N additionally
+// parallelizes INSIDE each packet simulation: the event loop splits into
+// one shard per dataplane plus a host shard, advancing under conservative
+// lookahead windows (-lookahead overrides the default, the host-ToR
+// propagation delay). Output — tables, reports, fingerprints — stays
+// byte-identical at any shard count; -trace is the one exception and is
+// rejected with -shards > 1. See DESIGN.md "Plane-sharded PDES".
 package main
 
 import (
@@ -82,18 +88,22 @@ func main() {
 		chaosF  = flag.String("chaos", "", "fault script for fault-aware experiments ('help' prints the syntax)")
 		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		workers = flag.Int("workers", 0, "max concurrent sweep cells (0 = GOMAXPROCS, 1 = serial); results are identical either way")
+		shards  = flag.Int("shards", 1, "plane shards per packet simulation (1 = serial engine); results are identical at any count")
+		lookAhd = flag.Duration("lookahead", 0, "conservative PDES window span (0 = the host-ToR propagation delay); requires -shards > 1")
 	)
 	flag.Parse()
 
 	// An explicit -sample must be positive; silently falling back to the
 	// default would make the printed series lie about their cadence.
-	sampleSet, fpEpochSet := false, false
+	sampleSet, fpEpochSet, lookAhdSet := false, false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "sample":
 			sampleSet = true
 		case "fingerprint-epoch":
 			fpEpochSet = true
+		case "lookahead":
+			lookAhdSet = true
 		}
 	})
 	if sampleSet && *sample <= 0 {
@@ -101,6 +111,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err := validateFingerprintFlags(*fprint, *fpEpoch, fpEpochSet, *fpJourn, *metrics, *reportF); err != nil {
+		fmt.Fprintf(os.Stderr, "pnetbench: %v\n", err)
+		os.Exit(2)
+	}
+	if err := validateShardFlags(*shards, *lookAhd, lookAhdSet, *trace); err != nil {
 		fmt.Fprintf(os.Stderr, "pnetbench: %v\n", err)
 		os.Exit(2)
 	}
@@ -135,7 +149,14 @@ func main() {
 	}
 	par.SetLimit(*workers)
 
-	params := exp.Params{Seed: *seed, Chaos: chaosSpec, Workers: *workers}
+	params := exp.Params{
+		Seed: *seed, Chaos: chaosSpec, Workers: *workers,
+		// -shards 1 leaves Params.Shards at 1: Driver.Shard treats any
+		// value <= 1 as a no-op, so the untouched serial Engine.Run path
+		// executes — not a one-shard PDES emulation of it.
+		Shards:    *shards,
+		Lookahead: sim.Time(lookAhd.Nanoseconds()) * sim.Nanosecond,
+	}
 	switch *scale {
 	case "small":
 		params.Scale = exp.ScaleSmall
@@ -229,8 +250,8 @@ func main() {
 	// bit-identical at any width, so the numbers are attribution for the
 	// wall times below, never a caveat on the tables.
 	effWorkers := par.Workers(*workers)
-	fmt.Fprintf(os.Stderr, "pnetbench: exp=%s scale=%s seed=%d workers=%d gomaxprocs=%d\n",
-		*expID, params.Scale, *seed, effWorkers, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(os.Stderr, "pnetbench: exp=%s scale=%s seed=%d workers=%d shards=%d gomaxprocs=%d\n",
+		*expID, params.Scale, *seed, effWorkers, *shards, runtime.GOMAXPROCS(0))
 	if collector != nil {
 		// The effective sampling cadence, so nobody has to
 		// reverse-engineer it from the t_ps deltas in the stream.
@@ -268,13 +289,21 @@ func main() {
 	if *reportF != "" {
 		// Summarize before Close: the collector's samplers and records
 		// stay valid, and the summary does not depend on the streams.
+		// Shards stays 0 (omitted) for serial runs so reports remain
+		// byte-compatible with pre-sharding baselines.
+		shardsMeta := 0
+		if *shards > 1 {
+			shardsMeta = *shards
+		}
 		summary := aggr.Summarize(collector, report.Meta{
-			Exp:        *expID,
-			Scale:      params.Scale.String(),
-			Seed:       *seed,
-			Created:    time.Now().UTC().Format(time.RFC3339),
-			Workers:    effWorkers,
-			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Exp:         *expID,
+			Scale:       params.Scale.String(),
+			Seed:        *seed,
+			Created:     time.Now().UTC().Format(time.RFC3339),
+			Workers:     effWorkers,
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			Shards:      shardsMeta,
+			LookaheadPs: int64(params.Lookahead),
 		})
 		if summary.Profile != nil {
 			// Stamp the run's actual pool occupancy into the profile so
@@ -324,6 +353,29 @@ func validateFingerprintFlags(fingerprint bool, epoch int64, epochSet bool, jour
 	}
 	if fingerprint && metrics == "" && reportF == "" {
 		return fmt.Errorf("-fingerprint needs a sink for the checkpoints: add -metrics or -report")
+	}
+	return nil
+}
+
+// validateShardFlags rejects -shards/-lookahead combinations that would
+// silently do nothing or change observable behavior. lookaheadSet says
+// whether -lookahead appeared on the command line at all (the zero
+// default is valid and means "use the propagation delay"). -trace is
+// incompatible with sharding: trace events are emitted from concurrent
+// shard loops, so their interleaving in the stream is unspecified even
+// though the simulation itself stays bit-identical.
+func validateShardFlags(shards int, lookahead time.Duration, lookaheadSet bool, trace string) error {
+	if shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", shards)
+	}
+	if lookaheadSet && lookahead <= 0 {
+		return fmt.Errorf("-lookahead must be positive, got %v", lookahead)
+	}
+	if lookaheadSet && shards <= 1 {
+		return fmt.Errorf("-lookahead requires -shards > 1")
+	}
+	if shards > 1 && trace != "" {
+		return fmt.Errorf("-trace is not supported with -shards > 1: packet events would interleave nondeterministically in the stream")
 	}
 	return nil
 }

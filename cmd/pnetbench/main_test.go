@@ -3,6 +3,7 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestValidateFingerprintFlags(t *testing.T) {
@@ -35,6 +36,54 @@ func TestValidateFingerprintFlags(t *testing.T) {
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
 			err := validateFingerprintFlags(c.fingerprint, c.epoch, c.epochSet, c.journal, c.metrics, c.report)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", c.wantErr)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not contain %q", err, c.wantErr)
+			}
+			if strings.Contains(err.Error(), "\n") {
+				t.Errorf("error is not one line: %q", err)
+			}
+		})
+	}
+}
+
+func TestValidateShardFlags(t *testing.T) {
+	cases := []struct {
+		name         string
+		shards       int
+		lookahead    time.Duration
+		lookaheadSet bool
+		trace        string
+		wantErr      string // "" = valid
+	}{
+		{name: "serial default", shards: 1},
+		{name: "sharded", shards: 4},
+		{name: "sharded with lookahead", shards: 4, lookahead: 500 * time.Nanosecond, lookaheadSet: true},
+		{name: "serial with trace", shards: 1, trace: "t.jsonl"},
+		{name: "zero shards", shards: 0,
+			wantErr: "-shards must be >= 1"},
+		{name: "negative shards", shards: -2,
+			wantErr: "-shards must be >= 1"},
+		{name: "zero lookahead", shards: 4, lookahead: 0, lookaheadSet: true,
+			wantErr: "-lookahead must be positive"},
+		{name: "negative lookahead", shards: 4, lookahead: -time.Microsecond, lookaheadSet: true,
+			wantErr: "-lookahead must be positive"},
+		{name: "lookahead without shards", shards: 1, lookahead: time.Microsecond, lookaheadSet: true,
+			wantErr: "-lookahead requires -shards > 1"},
+		{name: "trace with shards", shards: 2, trace: "t.jsonl",
+			wantErr: "-trace is not supported with -shards > 1"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := validateShardFlags(c.shards, c.lookahead, c.lookaheadSet, c.trace)
 			if c.wantErr == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)

@@ -7,7 +7,7 @@
 //
 //	pnetstat summary [-json] [-o out.json] [-gobench bench.txt] <run>
 //	pnetstat attribution [-json] <run>
-//	pnetstat profile [-json] <run>
+//	pnetstat profile [-json] [-serial base.json [-min-speedup X]] <run>
 //	pnetstat fingerprint [-json] <run>
 //	pnetstat divergence [-k 5] [-events-base j.jsonl] [-events-cur j.jsonl] <base> <cur>
 //	pnetstat export-trace [-o trace.json] <metrics.jsonl>
@@ -51,10 +51,13 @@ commands:
       went (queueing, serialization, propagation, RTO stalls, repath
       gaps, host waits) per plane, overall and for the p99.9 tail;
       needs a run recorded with pnetbench -spans
-  profile [-json] <run>
+  profile [-json] [-serial base.json [-min-speedup X]] <run>
       print the event-loop profile: per-(kind, plane) event counts and
       wall time, host-boundary fraction, and the predicted PDES speedup
-      bounds for per-plane event queues; needs pnetbench -spans
+      bounds for per-plane event queues; needs pnetbench -spans.
+      -serial compares a serial baseline's engine wall time against this
+      (sharded) run's and prints the ACHIEVED speedup next to the
+      predictions; -min-speedup exits 1 when it falls short
   fingerprint [-json] <run>
       print the determinism fingerprint: the XOR-folded global, host,
       and per-plane hash chains; needs pnetbench -fingerprint
@@ -225,8 +228,14 @@ func runProfile(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	asJSON := fs.Bool("json", false, "print the profile summary as JSON instead of text")
+	serial := fs.String("serial", "", "serial baseline run: print the sharded run's ACHIEVED speedup (baseline run_wall_s / this run's) next to the predicted bounds")
+	minSpeedup := fs.Float64("min-speedup", 0, "exit 1 if the achieved speedup falls below this (requires -serial)")
 	if fs.Parse(args) != nil || fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: pnetstat profile [-json] <run>")
+		fmt.Fprintln(stderr, "usage: pnetstat profile [-json] [-serial base.json [-min-speedup X]] <run>")
+		return 2
+	}
+	if *minSpeedup > 0 && *serial == "" {
+		fmt.Fprintln(stderr, "pnetstat: -min-speedup requires -serial")
 		return 2
 	}
 	s, ok := loadRun(fs.Arg(0), "", stderr)
@@ -238,6 +247,38 @@ func runProfile(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, string(b))
 	} else {
 		fmt.Fprint(stdout, s.ProfileString())
+	}
+	if *serial == "" {
+		return 0
+	}
+
+	// Predicted-vs-achieved: the profile's Amdahl / critical-path numbers
+	// say what plane sharding COULD buy; the ratio of engine wall times
+	// between a serial baseline and this (sharded) run says what it DID.
+	base, ok := loadRun(*serial, "", stderr)
+	if !ok {
+		return 2
+	}
+	if base.Engine.RunWallSec <= 0 || s.Engine.RunWallSec <= 0 {
+		fmt.Fprintf(stderr, "pnetstat: achieved speedup needs run_wall_s in both runs (base %.3fs, run %.3fs) — engine wall is only recorded by runs of this repo version\n",
+			base.Engine.RunWallSec, s.Engine.RunWallSec)
+		return 2
+	}
+	achieved := base.Engine.RunWallSec / s.Engine.RunWallSec
+	fmt.Fprintf(stdout, "achieved speedup: %.2fx (serial %.3fs / this run %.3fs", achieved,
+		base.Engine.RunWallSec, s.Engine.RunWallSec)
+	if s.Shards > 1 {
+		fmt.Fprintf(stdout, ", shards=%d", s.Shards)
+	}
+	fmt.Fprint(stdout, ")")
+	if p := s.Profile; p != nil && p.SpeedupEventBound > 0 {
+		fmt.Fprintf(stdout, " — predicted %.2fx amdahl, %.2fx critical-path (events)",
+			p.SpeedupAmdahl, p.SpeedupEventBound)
+	}
+	fmt.Fprintln(stdout)
+	if *minSpeedup > 0 && achieved < *minSpeedup {
+		fmt.Fprintf(stderr, "pnetstat: achieved speedup %.2fx below required %.2fx\n", achieved, *minSpeedup)
+		return 1
 	}
 	return 0
 }

@@ -66,6 +66,7 @@ func TestSummaryWorkerInvariant(t *testing.T) {
 		s.Solver.WallSec = 0
 		s.Engine.WallSec = 0
 		s.Engine.EventsPerSec = 0
+		s.Engine.RunWallSec = 0
 		return s
 	}
 	serial := run(1)
@@ -100,6 +101,7 @@ func TestSpansSummaryWorkerInvariant(t *testing.T) {
 		s.Solver.WallSec = 0
 		s.Engine.WallSec = 0
 		s.Engine.EventsPerSec = 0
+		s.Engine.RunWallSec = 0
 		if s.Profile != nil {
 			s.Profile.WallSec = 0
 			s.Profile.HostWallSec = 0
@@ -157,5 +159,53 @@ func TestFingerprintWorkerInvariant(t *testing.T) {
 	}
 	if serial.Events == 0 || serial.Global == "0000000000000000" {
 		t.Fatalf("fingerprint is empty — the comparison proved nothing: %+v", serial)
+	}
+}
+
+// TestShardedFingerprintIdentical pins the plane-sharded PDES contract
+// (DESIGN.md "Plane-sharded PDES"): running the same experiment on the
+// sharded engine at any shard count reproduces the serial run byte for
+// byte — the global, host, and per-plane fingerprint chains AND the full
+// RunSummary (flows, drops, retransmits, fault timeline, everything).
+// fig6c covers steady-state traffic across planes; faults adds timer
+// cancellation, chaos injection, blackholes, and repathing mid-window.
+func TestShardedFingerprintIdentical(t *testing.T) {
+	run := func(id string, shards int) report.RunSummary {
+		c := obs.NewCollector()
+		c.Fingerprint = true
+		aggr := report.NewAggregator()
+		c.Sink = aggr
+		c.DropSamples = true
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		e.Run(Params{Seed: 1, Workers: 1, Obs: c, Shards: shards})
+		s := aggr.Summarize(c, report.Meta{Exp: id, Scale: "small", Seed: 1})
+		// Wall time is the one quantity allowed to move with sharding.
+		s.Solver.WallSec = 0
+		s.Engine.WallSec = 0
+		s.Engine.EventsPerSec = 0
+		s.Engine.RunWallSec = 0
+		return s
+	}
+	for _, id := range []string{"fig6c", "faults"} {
+		serial := run(id, 0)
+		if serial.Fingerprint == nil || serial.Fingerprint.Events == 0 ||
+			serial.Fingerprint.Global == "0000000000000000" {
+			t.Fatalf("%s: serial fingerprint is empty — the comparison proves nothing: %+v",
+				id, serial.Fingerprint)
+		}
+		for _, shards := range []int{2, 4} {
+			sharded := run(id, shards)
+			if !reflect.DeepEqual(serial.Fingerprint, sharded.Fingerprint) {
+				t.Errorf("%s: fingerprints differ between serial and shards=%d:\nserial:  %+v\nsharded: %+v",
+					id, shards, serial.Fingerprint, sharded.Fingerprint)
+			}
+			if !reflect.DeepEqual(serial, sharded) {
+				t.Errorf("%s: RunSummary differs between serial and shards=%d:\nserial:  %+v\nsharded: %+v",
+					id, shards, serial, sharded)
+			}
+		}
 	}
 }

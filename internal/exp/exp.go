@@ -67,6 +67,14 @@ type Params struct {
 	// RNG seed, and everything shared (the collector, per-graph caches)
 	// aggregates commutatively.
 	Workers int
+	// Shards, when > 1, runs every packet simulation on the plane-sharded
+	// PDES engine with that many plane shards (internal/pdes); Lookahead
+	// overrides the conservative window span (0 = the propagation delay).
+	// Orthogonal to Workers: shards parallelize inside one cell's engine,
+	// workers parallelize across cells. Results are bit-identical at any
+	// combination.
+	Shards    int
+	Lookahead sim.Time
 }
 
 // cells fans an experiment's n independent cells out across p.Workers
@@ -83,6 +91,9 @@ func (p Params) newDriver(tp *topo.Topology, simCfg sim.Config, tcpCfg tcp.Confi
 	if p.Obs != nil {
 		d.Instrument(p.Obs)
 	}
+	// After Instrument, so shard engines inherit the fingerprinter and
+	// flight recorder; before any flow or timer exists.
+	d.Shard(p.Shards, p.Lookahead)
 	return d
 }
 

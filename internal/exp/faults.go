@@ -262,7 +262,7 @@ func runFaultsWith(p Params, tp *topo.Topology, cfg faultsCfg) faultsMetrics {
 			prev = tot
 		})
 	}
-	d.Eng.RunUntil(cfg.runDur + sim.Microsecond)
+	d.RunUntil(cfg.runDur + sim.Microsecond)
 
 	// Reduce the timeline. Window indices: [0, faultIdx) are clean
 	// pre-fault windows (skip window 0, the slow-start ramp), faultIdx

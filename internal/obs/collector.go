@@ -5,6 +5,8 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"pnet/internal/sim"
 )
@@ -67,16 +69,22 @@ type Collector struct {
 	Solver []SolverRecord
 	Faults []FaultRecord
 
-	mu       sync.Mutex // guards the record slices and attach bookkeeping
-	traceMu  sync.Mutex // serializes all JSONLSinks sharing tw
-	mw       *MetricsWriter
-	jw       *MetricsWriter // fingerprint journal stream, if any
-	tw       *bufio.Writer  // shared by every network's JSONLSink
-	samplers []*Sampler
-	sinks    []*JSONLSink
-	profiles []profileEntry
-	fps      []fingerprintEntry
-	nets     int
+	mu      sync.Mutex // guards the record slices and attach bookkeeping
+	traceMu sync.Mutex // serializes all JSONLSinks sharing tw
+
+	// runWallNs accumulates wall time spent inside engine runs
+	// (workload.Driver.RunUntil), summed across sweep cells — the
+	// measured side of predicted-vs-achieved PDES speedup. Atomic:
+	// parallel cells add concurrently.
+	runWallNs atomic.Int64
+	mw        *MetricsWriter
+	jw        *MetricsWriter // fingerprint journal stream, if any
+	tw        *bufio.Writer  // shared by every network's JSONLSink
+	samplers  []*Sampler
+	sinks     []*JSONLSink
+	profiles  []profileEntry
+	fps       []fingerprintEntry
+	nets      int
 }
 
 // fingerprintEntry pairs a fingerprinter with the NetID it was attached
@@ -429,8 +437,16 @@ func (c *Collector) Merge(src *Collector) {
 		c.fps = append(c.fps, e)
 	}
 	c.mu.Unlock()
+	c.runWallNs.Add(src.runWallNs.Load())
 	c.Reg.Merge(src.Reg)
 }
+
+// AddRunWall accumulates wall time spent inside an engine run. Safe from
+// concurrent sweep cells.
+func (c *Collector) AddRunWall(d time.Duration) { c.runWallNs.Add(int64(d)) }
+
+// RunWallNs reports the accumulated engine-run wall time in nanoseconds.
+func (c *Collector) RunWallNs() int64 { return c.runWallNs.Load() }
 
 // Close stops samplers, dumps the registry snapshot to the metrics
 // stream, and flushes both streams. It returns the first error any

@@ -1,0 +1,102 @@
+package par
+
+import "runtime/debug"
+
+// Gang is the blocking fork-join counterpart to the non-blocking token
+// pool: a fixed crew of persistent goroutines that execute one function
+// in lockstep and barrier before Run returns. The sharded event loop
+// (internal/pdes) runs thousands of sub-millisecond windows per simulated
+// second — spawning goroutines or contending for pool tokens per window
+// would swamp the work, so the gang parks its workers on per-worker job
+// channels between windows.
+//
+// A gang deliberately does NOT draw from the process-wide pool limit:
+// pool tokens bound *concurrent sweep cells* (each cell owns an engine),
+// while gang workers parallelize the inside of one engine's run. A
+// `-workers 1 -shards 4` run is serial across cells and parallel across
+// shards, which is exactly what the determinism CI exercises.
+type Gang struct {
+	n    int
+	jobs []chan func(worker int)
+	done chan *Panic
+}
+
+// NewGang returns a gang of n workers (n ≤ 1 needs no goroutines: Run
+// executes inline). The caller participates as worker 0, so a gang of n
+// starts n-1 goroutines. Close releases them.
+func NewGang(n int) *Gang {
+	g := &Gang{n: n}
+	if n <= 1 {
+		return g
+	}
+	g.jobs = make([]chan func(worker int), n-1)
+	g.done = make(chan *Panic, n-1)
+	for i := range g.jobs {
+		ch := make(chan func(worker int))
+		g.jobs[i] = ch
+		// serve is a free function so parked workers reference only their
+		// channels, not the Gang — a finalizer on an owner (see
+		// internal/pdes) can then reap a gang whose Close was never called.
+		go serve(i+1, ch, g.done)
+	}
+	return g
+}
+
+// Workers reports the gang's size (including the caller).
+func (g *Gang) Workers() int {
+	if g.n < 1 {
+		return 1
+	}
+	return g.n
+}
+
+func serve(worker int, ch chan func(worker int), done chan *Panic) {
+	for fn := range ch {
+		done <- runGuarded(worker, fn)
+	}
+}
+
+func runGuarded(worker int, fn func(int)) (p *Panic) {
+	defer func() {
+		if r := recover(); r != nil {
+			p = &Panic{Index: worker, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	fn(worker)
+	return nil
+}
+
+// Run executes fn(worker, of) on every worker — the caller as worker 0 —
+// and returns once all have finished. If any worker panicked, Run
+// re-panics with a *Panic after the barrier, so the gang is always
+// reusable afterwards.
+func (g *Gang) Run(fn func(worker, of int)) {
+	if g.n <= 1 {
+		fn(0, 1)
+		return
+	}
+	of := g.n
+	body := func(worker int) { fn(worker, of) }
+	for _, ch := range g.jobs {
+		ch <- body
+	}
+	first := runGuarded(0, body)
+	for range g.jobs {
+		if p := <-g.done; first == nil {
+			first = p
+		}
+	}
+	if first != nil {
+		panic(first)
+	}
+}
+
+// Close shuts the worker goroutines down. The gang must be idle; Run
+// must not be called afterwards. Safe on a gang of 1 and safe to call
+// twice (second call is a no-op).
+func (g *Gang) Close() {
+	for _, ch := range g.jobs {
+		close(ch)
+	}
+	g.jobs = nil
+}

@@ -1,0 +1,93 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestGangRunsEveryWorker(t *testing.T) {
+	g := NewGang(4)
+	defer g.Close()
+	if g.Workers() != 4 {
+		t.Fatalf("Workers() = %d", g.Workers())
+	}
+	var hits [4]int32
+	for round := 0; round < 100; round++ {
+		g.Run(func(worker, of int) {
+			if of != 4 {
+				t.Errorf("of = %d", of)
+			}
+			atomic.AddInt32(&hits[worker], 1)
+		})
+	}
+	for i, h := range hits {
+		if h != 100 {
+			t.Errorf("worker %d ran %d/100 times", i, h)
+		}
+	}
+}
+
+func TestGangOfOneRunsInline(t *testing.T) {
+	g := NewGang(1)
+	defer g.Close()
+	ran := false
+	g.Run(func(worker, of int) {
+		if worker != 0 || of != 1 {
+			t.Errorf("worker=%d of=%d", worker, of)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("did not run")
+	}
+}
+
+func TestGangPanicPropagatesAndStaysUsable(t *testing.T) {
+	g := NewGang(3)
+	defer g.Close()
+	func() {
+		defer func() {
+			p, ok := recover().(*Panic)
+			if !ok {
+				t.Fatalf("recovered %T, want *Panic", p)
+			}
+			if p.Index != 2 {
+				t.Errorf("Panic.Index = %d, want 2", p.Index)
+			}
+		}()
+		g.Run(func(worker, of int) {
+			if worker == 2 {
+				panic("boom")
+			}
+		})
+		t.Fatal("Run did not panic")
+	}()
+	// The barrier completed despite the panic; the gang still works.
+	var n int32
+	g.Run(func(worker, of int) { atomic.AddInt32(&n, 1) })
+	if n != 3 {
+		t.Errorf("post-panic Run hit %d/3 workers", n)
+	}
+}
+
+func TestGangCallerPanicWins(t *testing.T) {
+	g := NewGang(2)
+	defer g.Close()
+	defer func() {
+		p, ok := recover().(*Panic)
+		if !ok || p.Index != 0 {
+			t.Fatalf("recovered %v, want *Panic from worker 0", p)
+		}
+	}()
+	g.Run(func(worker, of int) {
+		if worker == 0 {
+			panic("caller side")
+		}
+	})
+}
+
+func TestGangCloseTwice(t *testing.T) {
+	g := NewGang(2)
+	g.Close()
+	g.Close()
+}

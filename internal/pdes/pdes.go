@@ -1,0 +1,146 @@
+// Package pdes drives a plane-sharded simulation run: conservative
+// parallel discrete-event simulation (PDES) over the shard protocol in
+// internal/sim (ShardSet) and the blocking gang barrier in internal/par.
+//
+// The partition follows the paper's physical structure. Dataplanes are
+// disjoint — a packet picks one plane at the sending host and never
+// leaves it — so each plane's switch queues form an independent event
+// stream, coupled to the rest of the system only through the hosts. Both
+// coupling edges (host NIC → ToR, ToR → host NIC) cross one link
+// propagation delay, which is therefore the conservative lookahead: in a
+// window [T, T+lookahead), every shard (the host shard included) can
+// fire its pending events concurrently, because any event one shard
+// creates for another lands at or beyond the window's end. Host timer
+// callbacks (RTO wakes, sampler ticks, chaos scripts) may touch any
+// state, so they bound windows and fire serially — they are microseconds
+// to milliseconds apart, versus hundreds of packet events per window.
+//
+// Determinism is the contract that makes this usable: the run's output,
+// including the global and per-plane fingerprint chains of internal/sim,
+// is byte-identical to the serial engine at any shard count. See
+// internal/sim/shard.go for the provisional-sequence renumbering that
+// guarantees it; this package only decides when windows open and who
+// runs in them.
+package pdes
+
+import (
+	"runtime"
+
+	"pnet/internal/graph"
+	"pnet/internal/par"
+	"pnet/internal/sim"
+)
+
+// Config sizes a sharded run.
+type Config struct {
+	// Shards is the number of plane shards (the host shard is extra).
+	Shards int
+	// Lookahead is the conservative window span. Zero (or anything above
+	// the network's propagation delay, the provable maximum) selects the
+	// propagation delay.
+	Lookahead sim.Time
+}
+
+// Stats counts what the window protocol did — the raw material for
+// comparing achieved parallelism against the flight-recorder predictions.
+type Stats struct {
+	// Windows is the number of parallel windows executed.
+	Windows int64
+	// GangWindows counts windows fanned out to the worker gang (the rest
+	// ran inline because at most one shard had work).
+	GangWindows int64
+	// WindowEvents is events fired inside windows; SerialEvents is events
+	// fired one at a time with all shards synchronized (timers, mostly).
+	WindowEvents int64
+	SerialEvents int64
+}
+
+// Runner owns a sharded engine set and its gang of workers. Create with
+// New, drive with RunUntil (from one goroutine), release with Close.
+type Runner struct {
+	set  *sim.ShardSet
+	gang *par.Gang
+
+	// Stats accumulates across RunUntil calls.
+	Stats Stats
+}
+
+// New shards eng/net into cfg.Shards plane shards. hostSide reports
+// whether a link's source node is a host (those queues stay on the host
+// shard — that is what puts a full propagation delay on every cross-shard
+// edge). The engine must not have been sharded before.
+func New(eng *sim.Engine, net *sim.Network, hostSide func(graph.LinkID) bool, cfg Config) *Runner {
+	set := sim.NewShardSet(eng, net, cfg.Shards, cfg.Lookahead, hostSide)
+	r := &Runner{set: set, gang: par.NewGang(set.Engines())}
+	// Sweep cells discard their drivers wholesale; the finalizer reaps the
+	// gang's parked goroutines for runners nobody Closed explicitly.
+	runtime.SetFinalizer(r, func(r *Runner) { r.gang.Close() })
+	return r
+}
+
+// Lookahead reports the effective window span.
+func (r *Runner) Lookahead() sim.Time { return r.set.Lookahead() }
+
+// Shards reports the plane-shard count (excluding the host shard).
+func (r *Runner) Shards() int { return r.set.Engines() - 1 }
+
+// RunUntil fires all events with timestamps up to and including deadline,
+// then advances every shard's clock to it — the sharded equivalent of
+// sim.Engine.RunUntil, returning the number of events fired.
+func (r *Runner) RunUntil(deadline sim.Time) int {
+	set := r.set
+	fired := 0
+	for {
+		limit, parallel, done := set.Advance(deadline)
+		if done {
+			break
+		}
+		if !parallel {
+			if !set.StepSerial() {
+				break
+			}
+			fired++
+			r.Stats.SerialEvents++
+			continue
+		}
+		set.BeginWindow(limit)
+		if set.BusyShards(limit) >= 2 {
+			r.Stats.GangWindows++
+			r.gang.Run(func(worker, of int) {
+				set.RunShard(worker, limit)
+			})
+		} else {
+			for i := 0; i < set.Engines(); i++ {
+				set.RunShard(i, limit)
+			}
+		}
+		n := set.EndWindow()
+		fired += n
+		r.Stats.WindowEvents += int64(n)
+		r.Stats.Windows++
+	}
+	set.AdvanceAll(deadline)
+	set.Quiesce()
+	return fired
+}
+
+// Step fires the single globally-next event across all shards — timer or
+// actor — in exact serial order, the sharded equivalent of sim.Engine.Step.
+// Closed-loop workloads that interleave an exit check between events (RPC
+// loops, shuffle stages) drive the run through this instead of RunUntil:
+// they trade the window parallelism away for the event-granular stopping
+// point the serial engine gives them, so their output stays byte-identical.
+// Returns false when no events remain.
+func (r *Runner) Step() bool {
+	if !r.set.StepSerial() {
+		return false
+	}
+	r.Stats.SerialEvents++
+	return true
+}
+
+// Close releases the gang's worker goroutines. The runner must be idle.
+func (r *Runner) Close() {
+	runtime.SetFinalizer(r, nil)
+	r.gang.Close()
+}

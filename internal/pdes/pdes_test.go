@@ -1,0 +1,262 @@
+package pdes
+
+import (
+	"reflect"
+	"testing"
+
+	"pnet/internal/graph"
+	"pnet/internal/sim"
+)
+
+// world is a synthetic multi-plane ping-pong workload exercising every
+// event class the sharded engine must keep deterministic: uplink tx on
+// the host shard, hop/tx on plane shards, delivers and replies through
+// transport code, fn timers (ticks and a chaos-style link flap), drops
+// on congested plane queues, and blackholes on a downed link.
+type world struct {
+	eng    *sim.Engine
+	net    *sim.Network
+	g      *graph.Graph
+	hosts  int
+	planes int
+	up     [][]graph.LinkID // [host][plane] host NIC uplink
+	down   [][]graph.LinkID // [host][plane] ToR→host downlink
+
+	deliveredAt   []sim.Time
+	deliveredFlow []int64
+}
+
+func newWorld(hosts, planes int, cfg sim.Config) *world {
+	w := &world{hosts: hosts, planes: planes}
+	w.g = graph.New(hosts + planes)
+	for h := 0; h < hosts; h++ {
+		w.g.SetTransit(graph.NodeID(h), false)
+	}
+	w.up = make([][]graph.LinkID, hosts)
+	w.down = make([][]graph.LinkID, hosts)
+	for h := 0; h < hosts; h++ {
+		w.up[h] = make([]graph.LinkID, planes)
+		w.down[h] = make([]graph.LinkID, planes)
+		for p := 0; p < planes; p++ {
+			sw := graph.NodeID(hosts + p)
+			w.up[h][p], w.down[h][p] = w.g.AddDuplex(graph.NodeID(h), sw, 100, int32(p))
+		}
+	}
+	w.eng = sim.NewEngine()
+	w.net = sim.NewNetwork(w.eng, w.g, cfg)
+	return w
+}
+
+// hostSide reports whether a link's source node is a host — the queue
+// ownership predicate the sharded engine partitions by.
+func (w *world) hostSide(id graph.LinkID) bool {
+	return int(w.g.Link(id).Src) < w.hosts
+}
+
+// HandlePacket is the "transport": record the delivery, pong back on the
+// same plane while the packet has rounds left.
+func (w *world) HandlePacket(p *sim.Packet) {
+	w.deliveredAt = append(w.deliveredAt, w.eng.Now())
+	w.deliveredFlow = append(w.deliveredFlow, p.FlowID)
+	if p.Aux > 0 {
+		src := int(p.FlowID / 1000)
+		dst := int(p.FlowID % 1000)
+		w.send(dst, src, int(p.Seq), p.Aux-1)
+	}
+	w.net.Release(p)
+}
+
+func (w *world) send(src, dst, plane int, rounds int64) {
+	p := w.net.NewPacket()
+	p.Size = 1500
+	p.Route = []graph.LinkID{w.up[src][plane], w.down[dst][plane]}
+	p.Deliver = w
+	p.FlowID = int64(src)*1000 + int64(dst)
+	p.Seq = int64(plane)
+	p.Aux = rounds
+	w.net.Send(p)
+}
+
+// start schedules the tick timers: every 50 µs each host opens a 4-round
+// ping-pong to a rotating peer on a rotating plane — bursts of same-
+// instant events across every plane, interleaved with fn timers. A link
+// flap at 1.0–1.2 ms blackholes in-flight traffic on one plane.
+func (w *world) start(dur sim.Time) {
+	const tickEvery = 50 * sim.Microsecond
+	for tick := 0; sim.Time(tick)*tickEvery < dur; tick++ {
+		t := sim.Time(tick) * tickEvery
+		k := tick
+		w.eng.At(t, func() {
+			if k%2 == 0 {
+				// Incast: everyone to one victim on one plane, overflowing
+				// its downlink queue — the plane-shard drop path.
+				dst := k % w.hosts
+				for h := 0; h < w.hosts; h++ {
+					if h != dst {
+						w.send(h, dst, k%w.planes, 2)
+					}
+				}
+				return
+			}
+			for h := 0; h < w.hosts; h++ {
+				dst := (h + 1 + k%(w.hosts-1)) % w.hosts
+				w.send(h, dst, (h+k)%w.planes, 4)
+			}
+		})
+	}
+	flap := w.down[1][0]
+	w.eng.At(1000*sim.Microsecond, func() { w.net.SetLinkUp(flap, false) })
+	w.eng.At(1200*sim.Microsecond, func() { w.net.SetLinkUp(flap, true) })
+}
+
+type outcome struct {
+	fpGlobal, fpHost uint64
+	fpPlanes         []uint64
+	fpEvents         int64
+	fired, scheduled uint64
+	drops, blackhole int64
+	deliveredAt      []sim.Time
+	deliveredFlow    []int64
+	bins             []sim.ProfileBin
+}
+
+func (w *world) outcome() outcome {
+	o := outcome{
+		fired:         w.eng.EventsFired(),
+		scheduled:     w.eng.EventsScheduled(),
+		drops:         w.net.TotalDrops(),
+		blackhole:     w.net.TotalBlackholed(),
+		deliveredAt:   w.deliveredAt,
+		deliveredFlow: w.deliveredFlow,
+	}
+	if fp := w.eng.Fingerprint; fp != nil {
+		o.fpGlobal, o.fpHost, o.fpPlanes = fp.Chains()
+		o.fpEvents = fp.Events()
+	}
+	if w.eng.Recorder != nil {
+		o.bins = w.eng.Recorder.Snapshot()
+	}
+	return o
+}
+
+// run executes the workload to 2 ms in three RunUntil segments (the
+// segment boundaries land mid-traffic on purpose). shards == 0 is the
+// untouched serial engine.
+func run(t *testing.T, shards int, lookahead sim.Time, instrument bool) outcome {
+	t.Helper()
+	// Queue of 3 packets at the ToR downlinks forces drops on plane
+	// shards when bursts collide.
+	w := newWorld(6, 3, sim.Config{QueueBytes: 4500})
+	if instrument {
+		w.eng.Fingerprint = sim.NewFingerprinter(256)
+		w.eng.Recorder = sim.NewFlightRecorder()
+	}
+	w.start(2000 * sim.Microsecond)
+	segments := []sim.Time{700 * sim.Microsecond, 1400 * sim.Microsecond, 2000 * sim.Microsecond}
+	if shards == 0 {
+		for _, seg := range segments {
+			w.eng.RunUntil(seg)
+		}
+		return w.outcome()
+	}
+	r := New(w.eng, w.net, w.hostSide, Config{Shards: shards, Lookahead: lookahead})
+	defer r.Close()
+	for _, seg := range segments {
+		r.RunUntil(seg)
+	}
+	if r.Stats.Windows == 0 {
+		t.Fatalf("shards=%d: no parallel windows executed", shards)
+	}
+	return w.outcome()
+}
+
+// TestShardedMatchesSerial is the protocol's core contract: every
+// observable — fingerprint chains (global, host, per-plane), event
+// counts, sequence counts, drop/blackhole totals, delivery order, and
+// profile bin counts — identical to the serial engine at any shard
+// count, including more shards than planes.
+func TestShardedMatchesSerial(t *testing.T) {
+	serial := run(t, 0, 0, true)
+	if serial.fpEvents == 0 || serial.drops == 0 || serial.blackhole == 0 {
+		t.Fatalf("serial run not exercising enough: %+v", serial)
+	}
+	for _, shards := range []int{1, 2, 3, 5} {
+		got := run(t, shards, 0, true)
+		if got.fpGlobal != serial.fpGlobal || got.fpHost != serial.fpHost ||
+			!reflect.DeepEqual(got.fpPlanes, serial.fpPlanes) {
+			t.Errorf("shards=%d: fingerprint chains diverge: got %x/%x/%x want %x/%x/%x",
+				shards, got.fpGlobal, got.fpHost, got.fpPlanes,
+				serial.fpGlobal, serial.fpHost, serial.fpPlanes)
+		}
+		if got.fpEvents != serial.fpEvents || got.fired != serial.fired || got.scheduled != serial.scheduled {
+			t.Errorf("shards=%d: counts diverge: events %d/%d fired %d/%d scheduled %d/%d",
+				shards, got.fpEvents, serial.fpEvents, got.fired, serial.fired, got.scheduled, serial.scheduled)
+		}
+		if got.drops != serial.drops || got.blackhole != serial.blackhole {
+			t.Errorf("shards=%d: loss diverges: drops %d/%d blackholed %d/%d",
+				shards, got.drops, serial.drops, got.blackhole, serial.blackhole)
+		}
+		if !reflect.DeepEqual(got.deliveredAt, serial.deliveredAt) ||
+			!reflect.DeepEqual(got.deliveredFlow, serial.deliveredFlow) {
+			t.Errorf("shards=%d: delivery stream diverges (%d vs %d deliveries)",
+				shards, len(got.deliveredAt), len(serial.deliveredAt))
+		}
+		// Bin event counts are deterministic; wall times are not.
+		for i := range got.bins {
+			got.bins[i].WallNs = 0
+		}
+		want := append([]sim.ProfileBin(nil), serial.bins...)
+		for i := range want {
+			want[i].WallNs = 0
+		}
+		if !reflect.DeepEqual(got.bins, want) {
+			t.Errorf("shards=%d: profile bins diverge:\n got %+v\nwant %+v", shards, got.bins, want)
+		}
+	}
+}
+
+// TestShardedBareEngine covers the uninstrumented path (no fingerprint,
+// no recorder) where windows skip all bookkeeping except the merge.
+func TestShardedBareEngine(t *testing.T) {
+	serial := run(t, 0, 0, false)
+	got := run(t, 4, 0, false)
+	if got.fired != serial.fired || !reflect.DeepEqual(got.deliveredAt, serial.deliveredAt) {
+		t.Errorf("bare sharded run diverges: fired %d/%d, deliveries %d/%d",
+			got.fired, serial.fired, len(got.deliveredAt), len(serial.deliveredAt))
+	}
+}
+
+// TestLookaheadClamped: an over-large -lookahead must clamp to the
+// propagation delay (larger windows would be unsound), and a tiny one
+// must still be exact, just slower.
+func TestLookaheadClamped(t *testing.T) {
+	serial := run(t, 0, 0, true)
+	for _, look := range []sim.Time{100 * sim.Nanosecond, 5 * sim.Microsecond} {
+		got := run(t, 2, look, true)
+		if got.fpGlobal != serial.fpGlobal {
+			t.Errorf("lookahead=%v: global chain diverges", look)
+		}
+	}
+}
+
+// TestRunnerStats sanity-checks the window/serial split: ticks and flap
+// timers run serially, packet traffic runs in windows.
+func TestRunnerStats(t *testing.T) {
+	w := newWorld(6, 3, sim.Config{QueueBytes: 4500})
+	w.start(2000 * sim.Microsecond)
+	r := New(w.eng, w.net, w.hostSide, Config{Shards: 3})
+	defer r.Close()
+	fired := r.RunUntil(2000 * sim.Microsecond)
+	if fired == 0 || int64(fired) != int64(r.Stats.WindowEvents)+r.Stats.SerialEvents {
+		t.Errorf("fired=%d, window=%d serial=%d", fired, r.Stats.WindowEvents, r.Stats.SerialEvents)
+	}
+	if r.Stats.GangWindows == 0 {
+		t.Error("no windows used the gang")
+	}
+	if r.Stats.WindowEvents < 4*r.Stats.SerialEvents {
+		t.Errorf("windows too small: %d window events vs %d serial", r.Stats.WindowEvents, r.Stats.SerialEvents)
+	}
+	if r.Lookahead() != w.net.PropDelay() {
+		t.Errorf("lookahead=%v, want prop delay %v", r.Lookahead(), w.net.PropDelay())
+	}
+}

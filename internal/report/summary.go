@@ -52,6 +52,12 @@ type EngineSummary struct {
 	WallSec      float64 `json:"wall_s"`
 	EventsPerSec float64 `json:"events_per_sec"`
 	SimSec       float64 `json:"sim_s"` // latest sim timestamp sampled
+	// RunWallSec is wall time measured inside engine runs
+	// (workload.Driver.RunUntil), summed across sweep cells — the
+	// denominator (sharded) and numerator (serial) of achieved PDES
+	// speedup in `pnetstat profile -serial`. Absent in older baselines
+	// and in stream-path summaries; never gated (wall clock).
+	RunWallSec float64 `json:"run_wall_s,omitempty"`
 }
 
 // FaultSummary aggregates a run's runtime-fault lifecycle: what the
@@ -116,6 +122,12 @@ type RunSummary struct {
 	// results are bit-identical across worker counts.
 	Workers    int `json:"workers,omitempty"`
 	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
+	// Shards and LookaheadPs record the plane-sharded PDES configuration
+	// (pnetbench -shards/-lookahead; 0 = serial engine). Like Workers,
+	// they change only wall clock, never a gated metric: sharded output
+	// is bit-identical to serial.
+	Shards      int   `json:"shards,omitempty"`
+	LookaheadPs int64 `json:"lookahead_ps,omitempty"`
 
 	Flows       int64   `json:"flows"`
 	FlowBytes   int64   `json:"flow_bytes"`
@@ -162,6 +174,10 @@ type Meta struct {
 	// recorded, keeping older baselines byte-compatible).
 	Workers    int
 	GOMAXPROCS int
+	// Shards and LookaheadPs attribute the run's PDES sharding (0 = the
+	// serial engine).
+	Shards      int
+	LookaheadPs int64
 }
 
 // agg accumulates telemetry into a RunSummary; both construction paths
@@ -180,6 +196,7 @@ type agg struct {
 	engines    int
 	events     uint64
 	wallNs     int64
+	runWallNs  int64
 	simPs      int64
 	solver     SolverSummary
 
@@ -380,6 +397,8 @@ func (a *agg) summary(m Meta) RunSummary {
 		Seed:          m.Seed,
 		Workers:       m.Workers,
 		GOMAXPROCS:    m.GOMAXPROCS,
+		Shards:        m.Shards,
+		LookaheadPs:   m.LookaheadPs,
 		Flows:         int64(len(a.fcts)),
 		FlowBytes:     a.bytes,
 		Retransmits:   a.retrans,
@@ -440,10 +459,11 @@ func (a *agg) summary(m Meta) RunSummary {
 	}
 
 	s.Engine = EngineSummary{
-		Networks: a.engines,
-		Events:   a.events,
-		WallSec:  float64(a.wallNs) / 1e9,
-		SimSec:   float64(a.simPs) / 1e12,
+		Networks:   a.engines,
+		Events:     a.events,
+		WallSec:    float64(a.wallNs) / 1e9,
+		SimSec:     float64(a.simPs) / 1e12,
+		RunWallSec: float64(a.runWallNs) / 1e9,
 	}
 	if s.Engine.WallSec > 0 {
 		s.Engine.EventsPerSec = float64(a.events) / s.Engine.WallSec
@@ -548,6 +568,7 @@ func (x *Aggregator) Summarize(c *obs.Collector, m Meta) RunSummary {
 		x.a.addFingerprintSnapshot(snap)
 	}
 	x.a.engines = len(c.Samplers())
+	x.a.runWallNs = c.RunWallNs()
 	return x.a.summary(m)
 }
 
@@ -584,6 +605,7 @@ func FromCollector(c *obs.Collector, m Meta) RunSummary {
 	for _, snap := range c.Fingerprints() {
 		a.addFingerprintSnapshot(snap)
 	}
+	a.runWallNs = c.RunWallNs()
 	return a.summary(m)
 }
 

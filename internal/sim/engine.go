@@ -85,6 +85,12 @@ type Engine struct {
 	// determinism hash chain (see fingerprint.go). Nil costs one branch
 	// per event, same as Recorder.
 	Fingerprint *Fingerprinter
+
+	// shard, when non-nil, makes this engine one member of a ShardSet
+	// (see shard.go): scheduling routes events to their owning shard and
+	// sequence numbers come from the set's shared counter. Nil — the
+	// serial engine — costs one branch per scheduled event.
+	shard *engineShard
 }
 
 // NewEngine returns an engine at time zero.
@@ -94,17 +100,45 @@ func NewEngine() *Engine { return &Engine{} }
 func (e *Engine) Now() Time { return e.now }
 
 // EventsFired returns the number of events dispatched so far — the
-// engine's work counter, sampled by telemetry to report event rates.
-func (e *Engine) EventsFired() uint64 { return e.fired }
+// engine's work counter, sampled by telemetry to report event rates. On
+// the host engine of a ShardSet it aggregates over every shard, so
+// samplers and report gates see the same totals at any shard count.
+func (e *Engine) EventsFired() uint64 {
+	if sh := e.shard; sh != nil && sh.idx == 0 {
+		var n uint64
+		for _, s := range sh.set.engines {
+			n += s.fired
+		}
+		return n
+	}
+	return e.fired
+}
 
-// EventsScheduled returns the number of events ever scheduled.
-func (e *Engine) EventsScheduled() uint64 { return e.seq }
+// EventsScheduled returns the number of events ever scheduled. On a
+// sharded engine the set's shared counter is the total.
+func (e *Engine) EventsScheduled() uint64 {
+	if sh := e.shard; sh != nil {
+		return sh.set.seq
+	}
+	return e.seq
+}
 
 // HeapLen reports the number of pending (possibly cancelled) events.
 // Telemetry samples it as the engine's working-set size; a periodic
 // sampler also uses it to detect that it is the only remaining work and
-// stop rescheduling itself.
-func (e *Engine) HeapLen() int { return len(e.events) }
+// stop rescheduling itself. On the host engine of a ShardSet it
+// aggregates every shard's heap (plus the host timer heap), so the
+// sampler's "am I the last event" check stays correct under sharding.
+func (e *Engine) HeapLen() int {
+	if sh := e.shard; sh != nil && sh.idx == 0 {
+		n := len(sh.timers)
+		for _, s := range sh.set.engines {
+			n += len(s.events)
+		}
+		return n
+	}
+	return len(e.events)
+}
 
 // At schedules fn at absolute time t (not before the current time) and
 // returns a cancellable handle.
@@ -112,9 +146,14 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling in the past: %v < %v", t, e.now))
 	}
-	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn}
-	e.events.push(ev)
+	ev := &Event{at: t, fn: fn}
+	if e.shard == nil {
+		e.seq++
+		ev.seq = e.seq
+		e.events.push(ev)
+		return ev
+	}
+	e.shard.routeFn(e, ev)
 	return ev
 }
 
@@ -132,13 +171,17 @@ func (e *Engine) schedule(at Time, who actor) {
 	} else {
 		ev = &Event{}
 	}
-	e.seq++
 	ev.at = at
-	ev.seq = e.seq
 	ev.who = who
 	ev.fn = nil
 	ev.canceled = false
-	e.events.push(ev)
+	if e.shard == nil {
+		e.seq++
+		ev.seq = e.seq
+		e.events.push(ev)
+		return
+	}
+	e.shard.route(e, ev)
 }
 
 // fire dispatches a popped event, recycling pooled ones.

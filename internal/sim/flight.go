@@ -110,6 +110,27 @@ func (r *FlightRecorder) Events() int64 {
 	return n
 }
 
+// MergeFrom adds src's bins into r and resets src. The sharded engine
+// gives each plane shard its own recorder (record stays single-threaded)
+// and drains them into the host recorder at quiescent points.
+func (r *FlightRecorder) MergeFrom(src *FlightRecorder) {
+	for k := range src.bins {
+		sb := &src.bins[k]
+		rb := &r.bins[k]
+		rb.none.events += sb.none.events
+		rb.none.wallNs += sb.none.wallNs
+		sb.none = planeBin{}
+		for pl := range sb.perPlane {
+			for pl >= len(rb.perPlane) {
+				rb.perPlane = append(rb.perPlane, planeBin{})
+			}
+			rb.perPlane[pl].events += sb.perPlane[pl].events
+			rb.perPlane[pl].wallNs += sb.perPlane[pl].wallNs
+			sb.perPlane[pl] = planeBin{}
+		}
+	}
+}
+
 // Snapshot returns the non-empty bins sorted by (kind, plane).
 func (r *FlightRecorder) Snapshot() []ProfileBin {
 	var out []ProfileBin

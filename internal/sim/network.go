@@ -131,6 +131,13 @@ type Network struct {
 	queues []queue
 	free   *Packet
 
+	// shardPools are per-shard packet/span freelists for the sharded
+	// engine (see shard.go): a plane shard dropping or blackholing a
+	// packet inside a window cannot touch the shared freelists, so it
+	// parks the carcass here and the barrier splices it back. Nil in
+	// serial runs.
+	shardPools []shardPool
+
 	// Span (latency attribution) state: a pool of SpanLogs and the
 	// enable flag transports consult once per flow. See span.go.
 	spansOn   bool
@@ -165,6 +172,7 @@ func NewNetwork(eng *Engine, g *graph.Graph, cfg Config) *Network {
 		}
 		n.queues[i] = queue{
 			net:      n,
+			eng:      eng,
 			id:       graph.LinkID(i),
 			plane:    l.Plane,
 			psPerBit: 1000 / l.Capacity, // ps per bit at `Capacity` Gb/s
@@ -240,7 +248,7 @@ func (n *Network) SetLinkUp(id graph.LinkID, up bool) {
 	}
 	for _, p := range q.buf[keep:] {
 		q.bytes -= p.Size
-		n.blackhole(p, id)
+		q.blackhole(p)
 	}
 	for i := keep; i < len(q.buf); i++ {
 		q.buf[i] = nil
@@ -260,13 +268,81 @@ func (n *Network) TotalBlackholed() int64 {
 	return total
 }
 
-// blackhole counts and releases a packet lost to a down link.
-func (n *Network) blackhole(p *Packet, id graph.LinkID) {
-	n.Blackholed[id]++
+// blackhole counts and releases a packet lost to a down link. It runs on
+// the queue's owning shard, so the release goes through the shard-aware
+// path.
+func (q *queue) blackhole(p *Packet) {
+	n := q.net
+	n.Blackholed[q.id]++
 	if n.Tracer != nil {
-		n.Tracer.PacketEvent(TraceBlackhole, p, id)
+		n.Tracer.PacketEvent(TraceBlackhole, p, q.id)
 	}
-	n.Release(p)
+	n.releaseOn(p, q.shard)
+}
+
+// shardPool holds packets and spans released by one shard mid-window.
+type shardPool struct {
+	pkts  *Packet
+	spans *SpanLog
+}
+
+// releaseOn releases a packet from shard code. The host shard (and the
+// serial engine, shard 0 by default) owns the shared freelists directly;
+// a plane shard parks carcasses in its pool until the window barrier.
+func (n *Network) releaseOn(p *Packet, shard int) {
+	if shard == 0 {
+		n.Release(p)
+		return
+	}
+	sp := &n.shardPools[shard]
+	if s := p.span; s != nil {
+		p.span = nil
+		s.next = sp.spans
+		sp.spans = s
+	}
+	p.next = sp.pkts
+	sp.pkts = p
+}
+
+// bindShards assigns every queue to its owning shard engine: host-side
+// queues (the NIC uplinks, per hostSide) to the host shard, switch queues
+// to 1 + plane mod planeShards. Called once by NewShardSet.
+func (n *Network) bindShards(set *ShardSet, hostSide func(graph.LinkID) bool) {
+	planes := len(set.engines) - 1
+	n.shardPools = make([]shardPool, len(set.engines))
+	for i := range n.queues {
+		q := &n.queues[i]
+		if q.plane < 0 || hostSide(graph.LinkID(i)) {
+			q.eng = set.engines[0]
+			q.shard = 0
+			continue
+		}
+		s := 1 + int(q.plane)%planes
+		q.eng = set.engines[s]
+		q.shard = s
+	}
+}
+
+// spliceShardPools folds every shard pool back into the shared freelists.
+// Called at window barriers, with all shards quiesced.
+func (n *Network) spliceShardPools() {
+	for i := range n.shardPools {
+		sp := &n.shardPools[i]
+		for p := sp.pkts; p != nil; {
+			next := p.next
+			p.next = n.free
+			n.free = p
+			p = next
+		}
+		sp.pkts = nil
+		for s := sp.spans; s != nil; {
+			next := s.next
+			s.next = n.freeSpans
+			n.freeSpans = s
+			s = next
+		}
+		sp.spans = nil
+	}
 }
 
 // Utilization returns a link's lifetime utilization in [0,1] at the
@@ -351,7 +427,12 @@ func (n *Network) arrive(p *Packet) {
 
 // queue is a drop-tail FIFO output queue feeding one directed link.
 type queue struct {
-	net      *Network
+	net *Network
+	// eng is the engine this queue schedules on and reads time from — the
+	// shared engine in serial runs, the owning shard's under a ShardSet.
+	// shard is that engine's index in the set (0 when serial).
+	eng      *Engine
+	shard    int
 	id       graph.LinkID
 	plane    int32
 	psPerBit float64
@@ -377,7 +458,7 @@ func (q *queue) txTime(size int32) Time {
 
 func (q *queue) enqueue(p *Packet) {
 	if q.down {
-		q.net.blackhole(p, q.id)
+		q.blackhole(p)
 		return
 	}
 	// With trimming enabled, headers and control packets (Size <=
@@ -400,7 +481,7 @@ func (q *queue) enqueue(p *Packet) {
 			if q.net.Tracer != nil {
 				q.net.Tracer.PacketEvent(TraceDrop, p, q.id)
 			}
-			q.net.Release(p)
+			q.net.releaseOn(p, q.shard)
 			return
 		}
 	}
@@ -412,7 +493,7 @@ func (q *queue) enqueue(p *Packet) {
 		q.net.Tracer.PacketEvent(TraceEnqueue, p, q.id)
 	}
 	if p.span != nil {
-		p.span.wait = q.net.Eng.Now()
+		p.span.wait = q.eng.Now()
 	}
 	q.buf = append(q.buf, p)
 	q.bytes += p.Size
@@ -424,7 +505,7 @@ func (q *queue) enqueue(p *Packet) {
 
 func (q *queue) startTx() {
 	p := q.buf[0]
-	eng := q.net.Eng
+	eng := q.eng
 	tx := q.txTime(p.Size)
 	q.busyTime += tx
 	q.txPkts++
@@ -447,7 +528,7 @@ func (q *queue) act() {
 		// The head's last bit "left" into a dead link; it (and anything
 		// else still buffered) is lost.
 		for i, p := range q.buf {
-			q.net.blackhole(p, q.id)
+			q.blackhole(p)
 			q.buf[i] = nil
 		}
 		q.buf = q.buf[:0]
@@ -461,7 +542,7 @@ func (q *queue) act() {
 	q.buf = q.buf[:len(q.buf)-1]
 	q.bytes -= p.Size
 
-	eng := q.net.Eng
+	eng := q.eng
 	eng.schedule(eng.Now()+q.prop, p)
 
 	if len(q.buf) > 0 {

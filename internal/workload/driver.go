@@ -3,10 +3,12 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"pnet/internal/core"
 	"pnet/internal/graph"
 	"pnet/internal/obs"
+	"pnet/internal/pdes"
 	"pnet/internal/sim"
 	"pnet/internal/tcp"
 	"pnet/internal/topo"
@@ -71,6 +73,8 @@ type Driver struct {
 	// OnRepath, when set, observes every subflow path swap (see Repaths).
 	OnRepath func(f *tcp.Flow, subflow int, to graph.Path)
 
+	topo    *topo.Topology
+	runner  *pdes.Runner // nil on serial runs; set by Shard
 	hashCtr uint64
 	// Flows counts flows started; Completed counts OnComplete callbacks.
 	Flows, Completed int64
@@ -88,7 +92,70 @@ func NewDriver(t *topo.Topology, simCfg sim.Config, tcpCfg tcp.Config) *Driver {
 		Eng:  eng,
 		Net:  sim.NewNetwork(eng, t.G, simCfg),
 		TCP:  tcpCfg,
+		topo: t,
 	}
+}
+
+// Shard switches the run onto the plane-sharded PDES engine with the
+// given plane-shard count and conservative lookahead (zero lookahead
+// selects the propagation delay, its provable maximum). shards ≤ 1 is a
+// no-op: the driver keeps the untouched serial engine. Call after
+// Instrument (so shard engines inherit the fingerprinter and recorder)
+// and before starting flows or timers. The run's output is byte-identical
+// either way; Shard only changes how fast it is produced.
+func (d *Driver) Shard(shards int, lookahead sim.Time) {
+	if shards <= 1 || d.runner != nil {
+		return
+	}
+	isHost := make([]bool, d.Net.G.NumNodes())
+	for _, h := range d.topo.Hosts {
+		isHost[h] = true
+	}
+	d.runner = pdes.New(d.Eng, d.Net, func(id graph.LinkID) bool {
+		return isHost[d.Net.G.Link(id).Src]
+	}, pdes.Config{Shards: shards, Lookahead: lookahead})
+}
+
+// Runner exposes the sharded-run statistics (nil on serial runs).
+func (d *Driver) Runner() *pdes.Runner { return d.runner }
+
+// Close releases the sharded runner's worker goroutines, if any. Safe on
+// serial drivers and safe to call twice.
+func (d *Driver) Close() {
+	if d.runner != nil {
+		d.runner.Close()
+	}
+}
+
+// RunUntil fires all events up to and including the deadline — through
+// the sharded runner when Shard was called, the serial engine otherwise —
+// and accumulates the wall time spent into the collector (the measured
+// side of `pnetstat profile`'s predicted-vs-achieved speedup).
+func (d *Driver) RunUntil(deadline sim.Time) int {
+	start := time.Now()
+	var fired int
+	if d.runner != nil {
+		fired = d.runner.RunUntil(deadline)
+	} else {
+		fired = d.Eng.RunUntil(deadline)
+	}
+	if d.Obs != nil {
+		d.Obs.AddRunWall(time.Since(start))
+	}
+	return fired
+}
+
+// Step fires the single next event — through the sharded runner's
+// serialized step when Shard was called, the engine's own Step otherwise.
+// Workload loops that check an exit condition between events must use this
+// rather than d.Eng.Step: under sharding the packet events live on the
+// plane shards' heaps, and stepping only the host engine would stall every
+// in-flight flow. Returns false when no events remain.
+func (d *Driver) Step() bool {
+	if d.runner != nil {
+		return d.runner.Step()
+	}
+	return d.Eng.Step()
 }
 
 // PathsFor resolves a Selection into concrete paths for a flow.
@@ -281,7 +348,7 @@ func spanShares(totals []sim.SpanTotal) []obs.SpanShare {
 // MustRunUntil drives the engine to the deadline and returns an error if
 // fewer than want flows completed — the signal that a workload stalled.
 func (d *Driver) MustRunUntil(deadline sim.Time, want int64) error {
-	d.Eng.RunUntil(deadline)
+	d.RunUntil(deadline)
 	if d.Completed < want {
 		return fmt.Errorf("workload: %d of %d flows completed by %v (drops=%d)",
 			d.Completed, want, deadline, d.Net.TotalDrops())

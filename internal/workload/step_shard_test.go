@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"pnet/internal/sim"
+	"pnet/internal/tcp"
+	"pnet/internal/topo"
+)
+
+// The step-driven workloads (RPC loops, shuffle stages, incast rounds,
+// trace replay) interleave an exit check between single events, so they
+// drive the run through Driver.Step rather than RunUntil. Under sharding
+// that must route through the ShardSet's serialized step — stepping only
+// the host engine would stall every packet on a plane shard's heap — and
+// the samples must come out identical to the serial engine's.
+
+// runRPCAt runs the Figure 10 ping-pong workload on a fresh driver with
+// the given plane-shard count (0 = serial) and returns its samples.
+func runRPCAt(t *testing.T, shards int) []float64 {
+	t.Helper()
+	set := topo.ScaledJellyfish(8, 2, 100, 3)
+	d := NewDriver(set.ParallelHomo, sim.Config{}, tcp.Config{})
+	if shards > 1 {
+		d.Shard(shards, 0)
+		defer d.Close()
+	}
+	samples, err := RunRPC(d, RPCConfig{
+		ReqBytes: 1500, RespBytes: 1500,
+		Rounds: 3, LoopsPerHost: 1,
+		Sel:  Selection{Policy: ECMP},
+		Seed: 7,
+	})
+	if err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	return samples
+}
+
+func TestRPCShardedMatchesSerial(t *testing.T) {
+	serial := runRPCAt(t, 0)
+	if len(serial) == 0 {
+		t.Fatal("serial run produced no samples")
+	}
+	for _, shards := range []int{2, 4} {
+		sharded := runRPCAt(t, shards)
+		if !reflect.DeepEqual(serial, sharded) {
+			t.Errorf("shards=%d: samples diverge from serial (%d vs %d)",
+				shards, len(sharded), len(serial))
+		}
+	}
+}
+
+func TestShuffleShardedMatchesSerial(t *testing.T) {
+	run := func(shards int) StageTimes {
+		set := topo.ScaledJellyfish(8, 2, 100, 3)
+		d := NewDriver(set.ParallelHomo, sim.Config{}, tcp.Config{})
+		if shards > 1 {
+			d.Shard(shards, 0)
+			defer d.Close()
+		}
+		times, err := RunShuffle(d, ShuffleConfig{
+			Mappers: 4, Reducers: 4,
+			TotalBytes: 8 << 20, BlockBytes: 2 << 20, Concurrency: 2,
+			Sel:  Selection{Policy: ECMP},
+			Seed: 5,
+		})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		return times
+	}
+	serial := run(0)
+	if !reflect.DeepEqual(serial, run(4)) {
+		t.Error("shards=4: shuffle stage times diverge from serial")
+	}
+}
