@@ -255,6 +255,147 @@ func BenchmarkGKSolverPhase(b *testing.B) {
 	b.ReportMetric(wall*1e9/float64(phases), "ns/phase")
 }
 
+// pingPong bounces a packet between its two endpoints forever, so a
+// sharded engine driven by the window protocol never drains — the
+// benchmark loop decides when to stop. Round trips keep the per-engine
+// event and packet pools balanced (a one-way stream would migrate one
+// pool entry downstream per packet), so the steady state is
+// allocation-free, like a transport exchanging data and ACKs.
+type pingPong struct {
+	net      *sim.Network
+	fwd, rev []graph.LinkID
+	back     bool
+}
+
+func (pp *pingPong) HandlePacket(p *sim.Packet) {
+	if pp.back {
+		p.Route = pp.fwd
+	} else {
+		p.Route = pp.rev
+	}
+	pp.back = !pp.back
+	pp.net.Send(p)
+}
+
+// shardPingPong builds a single-switch star of 2*pairs hosts sharded
+// into hostShards host sub-shards plus one plane shard, with one
+// ping-pong packet in flight per host pair. Hosts round-robin onto the
+// sub-shards, so every window has events on several engines — the k-way
+// merge shape EndWindow pays for.
+func shardPingPong(pairs, hostShards int) *sim.ShardSet {
+	sw := graph.NodeID(2 * pairs)
+	g := graph.New(2*pairs + 1)
+	up := make([]graph.LinkID, 2*pairs)
+	down := make([]graph.LinkID, 2*pairs)
+	for h := 0; h < 2*pairs; h++ {
+		g.SetTransit(graph.NodeID(h), false)
+		up[h], down[h] = g.AddDuplex(graph.NodeID(h), sw, 100, 0)
+	}
+	eng := sim.NewEngine()
+	net := sim.NewNetwork(eng, g, sim.Config{PropDelay: 500 * sim.Nanosecond})
+	hostSide := func(id graph.LinkID) bool { return net.G.Link(id).Src != sw }
+	set := sim.NewShardSet(eng, net, 1, hostShards, 0, hostSide)
+	for i := 0; i < pairs; i++ {
+		a, b := 2*i, 2*i+1
+		pp := &pingPong{
+			net: net,
+			fwd: []graph.LinkID{up[a], down[b]},
+			rev: []graph.LinkID{up[b], down[a]},
+		}
+		p := net.NewPacket()
+		p.Size = 1500
+		p.Route = pp.fwd
+		p.Deliver = pp
+		net.Send(p)
+	}
+	return set
+}
+
+// benchDeadline is far past any event a shard-window benchmark fires,
+// so Advance never reports done while ping-pong traffic is in flight.
+const benchDeadline = sim.Time(1) << 60
+
+// runShardWindows drives the window protocol (the pdes.Runner.RunUntil
+// loop with the shards run inline) until at least events have fired,
+// and returns the exact count.
+func runShardWindows(set *sim.ShardSet, events int) int {
+	fired := 0
+	for fired < events {
+		limit, parallel, done := set.Advance(benchDeadline)
+		if done {
+			break
+		}
+		if !parallel {
+			if !set.StepSerial() {
+				break
+			}
+			fired++
+			continue
+		}
+		set.BeginWindow(limit)
+		for i := 0; i < set.Engines(); i++ {
+			set.RunShard(i, limit)
+		}
+		fired += set.EndWindow()
+	}
+	return fired
+}
+
+// BenchmarkShardWindow measures event dispatch through the full window
+// protocol — Advance, BeginWindow, RunShard, EndWindow — on a
+// 4-sub-shard engine with ping-pong traffic on every sub-shard: the
+// sharded counterpart to BenchmarkEngineEventLoop. allocs/op must stay
+// 0 once the pools are warm (gated; see TestWindowPathZeroAlloc for
+// the per-allocation breakdown).
+func BenchmarkShardWindow(b *testing.B) {
+	set := shardPingPong(4, 4)
+	runShardWindows(set, 4096) // warm pools, window logs, merge scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	fired := runShardWindows(set, b.N)
+	b.StopTimer()
+	if fired < b.N {
+		b.Fatalf("fired %d events, want >= %d", fired, b.N)
+	}
+}
+
+// BenchmarkEndWindowMerge isolates the barrier: windows are opened and
+// run off the clock, and only EndWindow — the k-way merge, fingerprint
+// fold, seq renumbering, and commit — is timed, so merge-cost
+// regressions show up independently of the in-window event loop.
+// Reports events/window for scale.
+func BenchmarkEndWindowMerge(b *testing.B) {
+	set := shardPingPong(4, 4)
+	runShardWindows(set, 4096) // warm pools, window logs, merge scratch
+	events := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.StopTimer()
+	for w := 0; w < b.N; {
+		limit, parallel, done := set.Advance(benchDeadline)
+		if done {
+			b.Fatal("traffic drained")
+		}
+		if !parallel {
+			set.StepSerial()
+			continue
+		}
+		set.BeginWindow(limit)
+		for i := 0; i < set.Engines(); i++ {
+			set.RunShard(i, limit)
+		}
+		b.StartTimer()
+		n := set.EndWindow()
+		b.StopTimer()
+		events += n
+		w++
+	}
+	if events == 0 {
+		b.Fatal("no events committed")
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/window")
+}
+
 // --- Parallel execution benchmarks ---------------------------------------
 //
 // These measure the multicore sweep layer (internal/par): the same work

@@ -44,7 +44,12 @@
 // lookahead windows (-lookahead overrides the default, the host-ToR
 // propagation delay). Output — tables, reports, fingerprints — stays
 // byte-identical at any shard count; -trace is the one exception and is
-// rejected with -shards > 1. See DESIGN.md "Plane-sharded PDES".
+// rejected with -shards > 1. -host-shards N further splits the host
+// boundary of a sharded run into N per-host sub-shards that fire inside
+// the same windows as the plane shards, cracking the serial host-shard
+// bottleneck; output stays byte-identical at any (shards, host-shards)
+// combination. See DESIGN.md "Plane-sharded PDES" and "Host
+// sub-sharding".
 package main
 
 import (
@@ -89,6 +94,7 @@ func main() {
 		pprof   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 		workers = flag.Int("workers", 0, "max concurrent sweep cells (0 = GOMAXPROCS, 1 = serial); results are identical either way")
 		shards  = flag.Int("shards", 1, "plane shards per packet simulation (1 = serial engine); results are identical at any count")
+		hShards = flag.Int("host-shards", 1, "host sub-shards per packet simulation (1 = single host shard); requires -shards > 1; results are identical at any count")
 		lookAhd = flag.Duration("lookahead", 0, "conservative PDES window span (0 = the host-ToR propagation delay); requires -shards > 1")
 	)
 	flag.Parse()
@@ -114,7 +120,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pnetbench: %v\n", err)
 		os.Exit(2)
 	}
-	if err := validateShardFlags(*shards, *lookAhd, lookAhdSet, *trace); err != nil {
+	if err := validateShardFlags(*shards, *hShards, *lookAhd, lookAhdSet, *trace); err != nil {
 		fmt.Fprintf(os.Stderr, "pnetbench: %v\n", err)
 		os.Exit(2)
 	}
@@ -154,8 +160,9 @@ func main() {
 		// -shards 1 leaves Params.Shards at 1: Driver.Shard treats any
 		// value <= 1 as a no-op, so the untouched serial Engine.Run path
 		// executes — not a one-shard PDES emulation of it.
-		Shards:    *shards,
-		Lookahead: sim.Time(lookAhd.Nanoseconds()) * sim.Nanosecond,
+		Shards:     *shards,
+		HostShards: *hShards,
+		Lookahead:  sim.Time(lookAhd.Nanoseconds()) * sim.Nanosecond,
 	}
 	switch *scale {
 	case "small":
@@ -250,8 +257,8 @@ func main() {
 	// bit-identical at any width, so the numbers are attribution for the
 	// wall times below, never a caveat on the tables.
 	effWorkers := par.Workers(*workers)
-	fmt.Fprintf(os.Stderr, "pnetbench: exp=%s scale=%s seed=%d workers=%d shards=%d gomaxprocs=%d\n",
-		*expID, params.Scale, *seed, effWorkers, *shards, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(os.Stderr, "pnetbench: exp=%s scale=%s seed=%d workers=%d shards=%d host-shards=%d gomaxprocs=%d\n",
+		*expID, params.Scale, *seed, effWorkers, *shards, *hShards, runtime.GOMAXPROCS(0))
 	if collector != nil {
 		// The effective sampling cadence, so nobody has to
 		// reverse-engineer it from the t_ps deltas in the stream.
@@ -295,6 +302,12 @@ func main() {
 		if *shards > 1 {
 			shardsMeta = *shards
 		}
+		// Like Shards: omitted (0) unless the run actually sub-sharded, so
+		// reports stay byte-compatible with pre-sub-sharding baselines.
+		hostShardsMeta := 0
+		if *hShards > 1 {
+			hostShardsMeta = *hShards
+		}
 		summary := aggr.Summarize(collector, report.Meta{
 			Exp:         *expID,
 			Scale:       params.Scale.String(),
@@ -303,6 +316,7 @@ func main() {
 			Workers:     effWorkers,
 			GOMAXPROCS:  runtime.GOMAXPROCS(0),
 			Shards:      shardsMeta,
+			HostShards:  hostShardsMeta,
 			LookaheadPs: int64(params.Lookahead),
 		})
 		if summary.Profile != nil {
@@ -357,16 +371,24 @@ func validateFingerprintFlags(fingerprint bool, epoch int64, epochSet bool, jour
 	return nil
 }
 
-// validateShardFlags rejects -shards/-lookahead combinations that would
-// silently do nothing or change observable behavior. lookaheadSet says
-// whether -lookahead appeared on the command line at all (the zero
-// default is valid and means "use the propagation delay"). -trace is
-// incompatible with sharding: trace events are emitted from concurrent
-// shard loops, so their interleaving in the stream is unspecified even
-// though the simulation itself stays bit-identical.
-func validateShardFlags(shards int, lookahead time.Duration, lookaheadSet bool, trace string) error {
+// validateShardFlags rejects -shards/-host-shards/-lookahead combinations
+// that would silently do nothing or change observable behavior.
+// lookaheadSet says whether -lookahead appeared on the command line at
+// all (the zero default is valid and means "use the propagation delay").
+// -host-shards only means anything inside a sharded run, so it requires
+// -shards > 1. -trace is incompatible with sharding: trace events are
+// emitted from concurrent shard loops, so their interleaving in the
+// stream is unspecified even though the simulation itself stays
+// bit-identical.
+func validateShardFlags(shards, hostShards int, lookahead time.Duration, lookaheadSet bool, trace string) error {
 	if shards < 1 {
 		return fmt.Errorf("-shards must be >= 1, got %d", shards)
+	}
+	if hostShards < 1 {
+		return fmt.Errorf("-host-shards must be >= 1, got %d", hostShards)
+	}
+	if hostShards > 1 && shards <= 1 {
+		return fmt.Errorf("-host-shards requires -shards > 1")
 	}
 	if lookaheadSet && lookahead <= 0 {
 		return fmt.Errorf("-lookahead must be positive, got %v", lookahead)

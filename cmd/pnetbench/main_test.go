@@ -59,31 +59,40 @@ func TestValidateShardFlags(t *testing.T) {
 	cases := []struct {
 		name         string
 		shards       int
+		hostShards   int
 		lookahead    time.Duration
 		lookaheadSet bool
 		trace        string
 		wantErr      string // "" = valid
 	}{
-		{name: "serial default", shards: 1},
-		{name: "sharded", shards: 4},
-		{name: "sharded with lookahead", shards: 4, lookahead: 500 * time.Nanosecond, lookaheadSet: true},
-		{name: "serial with trace", shards: 1, trace: "t.jsonl"},
-		{name: "zero shards", shards: 0,
+		{name: "serial default", shards: 1, hostShards: 1},
+		{name: "sharded", shards: 4, hostShards: 1},
+		{name: "sharded with lookahead", shards: 4, hostShards: 1, lookahead: 500 * time.Nanosecond, lookaheadSet: true},
+		{name: "serial with trace", shards: 1, hostShards: 1, trace: "t.jsonl"},
+		{name: "host sub-sharded", shards: 4, hostShards: 4},
+		{name: "host sub-sharded two", shards: 2, hostShards: 2},
+		{name: "zero shards", shards: 0, hostShards: 1,
 			wantErr: "-shards must be >= 1"},
-		{name: "negative shards", shards: -2,
+		{name: "negative shards", shards: -2, hostShards: 1,
 			wantErr: "-shards must be >= 1"},
-		{name: "zero lookahead", shards: 4, lookahead: 0, lookaheadSet: true,
+		{name: "zero host shards", shards: 4, hostShards: 0,
+			wantErr: "-host-shards must be >= 1"},
+		{name: "negative host shards", shards: 4, hostShards: -3,
+			wantErr: "-host-shards must be >= 1"},
+		{name: "host shards without shards", shards: 1, hostShards: 2,
+			wantErr: "-host-shards requires -shards > 1"},
+		{name: "zero lookahead", shards: 4, hostShards: 1, lookahead: 0, lookaheadSet: true,
 			wantErr: "-lookahead must be positive"},
-		{name: "negative lookahead", shards: 4, lookahead: -time.Microsecond, lookaheadSet: true,
+		{name: "negative lookahead", shards: 4, hostShards: 1, lookahead: -time.Microsecond, lookaheadSet: true,
 			wantErr: "-lookahead must be positive"},
-		{name: "lookahead without shards", shards: 1, lookahead: time.Microsecond, lookaheadSet: true,
+		{name: "lookahead without shards", shards: 1, hostShards: 1, lookahead: time.Microsecond, lookaheadSet: true,
 			wantErr: "-lookahead requires -shards > 1"},
-		{name: "trace with shards", shards: 2, trace: "t.jsonl",
+		{name: "trace with shards", shards: 2, hostShards: 1, trace: "t.jsonl",
 			wantErr: "-trace is not supported with -shards > 1"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			err := validateShardFlags(c.shards, c.lookahead, c.lookaheadSet, c.trace)
+			err := validateShardFlags(c.shards, c.hostShards, c.lookahead, c.lookaheadSet, c.trace)
 			if c.wantErr == "" {
 				if err != nil {
 					t.Fatalf("unexpected error: %v", err)

@@ -7,7 +7,7 @@
 //
 //	pnetstat summary [-json] [-o out.json] [-gobench bench.txt] <run>
 //	pnetstat attribution [-json] <run>
-//	pnetstat profile [-json] [-serial base.json [-min-speedup X]] <run>
+//	pnetstat profile [-json] [-min-bound X] [-serial base.json [-min-speedup X]] <run>
 //	pnetstat fingerprint [-json] <run>
 //	pnetstat divergence [-k 5] [-events-base j.jsonl] [-events-cur j.jsonl] <base> <cur>
 //	pnetstat export-trace [-o trace.json] <metrics.jsonl>
@@ -51,13 +51,15 @@ commands:
       went (queueing, serialization, propagation, RTO stalls, repath
       gaps, host waits) per plane, overall and for the p99.9 tail;
       needs a run recorded with pnetbench -spans
-  profile [-json] [-serial base.json [-min-speedup X]] <run>
+  profile [-json] [-min-bound X] [-serial base.json [-min-speedup X]] <run>
       print the event-loop profile: per-(kind, plane) event counts and
-      wall time, host-boundary fraction, and the predicted PDES speedup
+      wall time, host-boundary fraction (with the per-sub-shard split
+      when the run used -host-shards), and the predicted PDES speedup
       bounds for per-plane event queues; needs pnetbench -spans.
-      -serial compares a serial baseline's engine wall time against this
-      (sharded) run's and prints the ACHIEVED speedup next to the
-      predictions; -min-speedup exits 1 when it falls short
+      -min-bound exits 1 when the predicted critical-path event bound
+      falls short; -serial compares a serial baseline's engine wall time
+      against this (sharded) run's and prints the ACHIEVED speedup next
+      to the predictions; -min-speedup exits 1 when it falls short
   fingerprint [-json] <run>
       print the determinism fingerprint: the XOR-folded global, host,
       and per-plane hash chains; needs pnetbench -fingerprint
@@ -230,8 +232,9 @@ func runProfile(args []string, stdout, stderr io.Writer) int {
 	asJSON := fs.Bool("json", false, "print the profile summary as JSON instead of text")
 	serial := fs.String("serial", "", "serial baseline run: print the sharded run's ACHIEVED speedup (baseline run_wall_s / this run's) next to the predicted bounds")
 	minSpeedup := fs.Float64("min-speedup", 0, "exit 1 if the achieved speedup falls below this (requires -serial)")
+	minBound := fs.Float64("min-bound", 0, "exit 1 if the predicted critical-path event bound falls below this")
 	if fs.Parse(args) != nil || fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: pnetstat profile [-json] [-serial base.json [-min-speedup X]] <run>")
+		fmt.Fprintln(stderr, "usage: pnetstat profile [-json] [-min-bound X] [-serial base.json [-min-speedup X]] <run>")
 		return 2
 	}
 	if *minSpeedup > 0 && *serial == "" {
@@ -247,6 +250,17 @@ func runProfile(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, string(b))
 	} else {
 		fmt.Fprint(stdout, s.ProfileString())
+	}
+	if *minBound > 0 {
+		if s.Profile == nil || s.Profile.SpeedupEventBound <= 0 {
+			fmt.Fprintln(stderr, "pnetstat: -min-bound needs a run with profile speedup bounds (pnetbench -spans)")
+			return 2
+		}
+		if s.Profile.SpeedupEventBound < *minBound {
+			fmt.Fprintf(stderr, "pnetstat: predicted event bound %.2fx below required %.2fx\n",
+				s.Profile.SpeedupEventBound, *minBound)
+			return 1
+		}
 	}
 	if *serial == "" {
 		return 0
@@ -269,6 +283,9 @@ func runProfile(args []string, stdout, stderr io.Writer) int {
 		base.Engine.RunWallSec, s.Engine.RunWallSec)
 	if s.Shards > 1 {
 		fmt.Fprintf(stdout, ", shards=%d", s.Shards)
+	}
+	if s.HostShards > 1 {
+		fmt.Fprintf(stdout, ", host-shards=%d", s.HostShards)
 	}
 	fmt.Fprint(stdout, ")")
 	if p := s.Profile; p != nil && p.SpeedupEventBound > 0 {

@@ -77,6 +77,10 @@ type HealthMonitor struct {
 	cfg     HealthConfig
 	routes  [][]graph.LinkID // per plane: host→peer→host loop
 	handler []probeHandler   // per plane, fixed Deliver targets
+	// hostNode is the probing host; echoes fire on its sub-shard under
+	// host sub-sharding, so echo() reads that engine's clock (resolved
+	// per call — the binding can move as flows colocate hosts).
+	hostNode graph.NodeID
 
 	lastEcho []sim.Time // latest fresh echo per plane
 	declDown []bool     // monitor's current verdict per plane
@@ -108,6 +112,7 @@ func NewHealthMonitor(eng *sim.Engine, net *sim.Network, p *PNet, host, peer int
 		Net:      net,
 		P:        p,
 		cfg:      cfg,
+		hostNode: t.Hosts[host],
 		routes:   make([][]graph.LinkID, t.Planes),
 		handler:  make([]probeHandler, t.Planes),
 		lastEcho: make([]sim.Time, t.Planes),
@@ -188,20 +193,21 @@ func (m *HealthMonitor) probe(plane int) {
 }
 
 func (m *HealthMonitor) echo(plane int, p *sim.Packet) {
+	bind := m.Net.BindOf(m.hostNode)
 	seq := p.Seq
-	m.Net.Release(p)
+	m.Net.ReleaseOn(p, bind.Shard())
 	if m.stopped {
 		return
 	}
 	if m.declDown[plane] && seq < m.reupSeq[plane] {
 		return // stale echo from before the down verdict
 	}
-	m.lastEcho[plane] = m.Eng.Now()
+	m.lastEcho[plane] = bind.Eng().Now()
 	if m.declDown[plane] {
 		m.declDown[plane] = false
 		m.P.MarkPlaneUp(plane)
 		if m.OnChange != nil {
-			m.OnChange(PlaneEvent{Plane: plane, Up: true, At: m.Eng.Now()})
+			m.OnChange(PlaneEvent{Plane: plane, Up: true, At: bind.Eng().Now()})
 		}
 	}
 }

@@ -209,3 +209,54 @@ func TestShardedFingerprintIdentical(t *testing.T) {
 		}
 	}
 }
+
+// TestHostSubShardFingerprintIdentical extends the sharded-determinism
+// contract to host sub-sharding (DESIGN.md "Host sub-sharding"): splitting
+// the host boundary into H per-host sub-shards — which moves NIC delivers,
+// TCP endpoint work, and in-window fn scheduling off the serial host shard
+// and onto concurrently-running engines — must leave every deterministic
+// output byte-identical to the serial run at any (shards, host-shards)
+// combination. Same workloads as above: fig6c for steady traffic, faults
+// for timer cancellation, chaos, blackholes, and mid-window repathing.
+func TestHostSubShardFingerprintIdentical(t *testing.T) {
+	run := func(id string, shards, hostShards int) report.RunSummary {
+		c := obs.NewCollector()
+		c.Fingerprint = true
+		aggr := report.NewAggregator()
+		c.Sink = aggr
+		c.DropSamples = true
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		e.Run(Params{Seed: 1, Workers: 1, Obs: c, Shards: shards, HostShards: hostShards})
+		s := aggr.Summarize(c, report.Meta{Exp: id, Scale: "small", Seed: 1})
+		// Wall time is the one quantity allowed to move with sharding.
+		s.Solver.WallSec = 0
+		s.Engine.WallSec = 0
+		s.Engine.EventsPerSec = 0
+		s.Engine.RunWallSec = 0
+		return s
+	}
+	for _, id := range []string{"fig6c", "faults"} {
+		serial := run(id, 0, 0)
+		if serial.Fingerprint == nil || serial.Fingerprint.Events == 0 ||
+			serial.Fingerprint.Global == "0000000000000000" {
+			t.Fatalf("%s: serial fingerprint is empty — the comparison proves nothing: %+v",
+				id, serial.Fingerprint)
+		}
+		for _, shards := range []int{2, 4} {
+			for _, hostShards := range []int{1, 2, 4} {
+				sub := run(id, shards, hostShards)
+				if !reflect.DeepEqual(serial.Fingerprint, sub.Fingerprint) {
+					t.Errorf("%s: fingerprints differ between serial and shards=%d host-shards=%d:\nserial:     %+v\nsub-sharded: %+v",
+						id, shards, hostShards, serial.Fingerprint, sub.Fingerprint)
+				}
+				if !reflect.DeepEqual(serial, sub) {
+					t.Errorf("%s: RunSummary differs between serial and shards=%d host-shards=%d:\nserial:     %+v\nsub-sharded: %+v",
+						id, shards, hostShards, serial, sub)
+				}
+			}
+		}
+	}
+}

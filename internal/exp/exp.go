@@ -73,8 +73,12 @@ type Params struct {
 	// Orthogonal to Workers: shards parallelize inside one cell's engine,
 	// workers parallelize across cells. Results are bit-identical at any
 	// combination.
-	Shards    int
-	Lookahead sim.Time
+	Shards int
+	// HostShards, when > 1 (and Shards > 1), additionally partitions the
+	// host boundary of every sharded simulation into that many per-host
+	// sub-shards (see sim.NewShardSet). Results stay bit-identical.
+	HostShards int
+	Lookahead  sim.Time
 }
 
 // cells fans an experiment's n independent cells out across p.Workers
@@ -93,7 +97,7 @@ func (p Params) newDriver(tp *topo.Topology, simCfg sim.Config, tcpCfg tcp.Confi
 	}
 	// After Instrument, so shard engines inherit the fingerprinter and
 	// flight recorder; before any flow or timer exists.
-	d.Shard(p.Shards, p.Lookahead)
+	d.Shard(p.Shards, p.HostShards, p.Lookahead)
 	return d
 }
 

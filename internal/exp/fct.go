@@ -59,10 +59,15 @@ func permutationFCT(tp *topo.Topology, sel workload.Selection, sizeBytes int64, 
 	d := p.newDriver(tp, sim.Config{}, tcp.Config{})
 	rng := rand.New(rand.NewSource(p.Seed))
 	cs := workload.PermutationCommodities(tp, 1, rng)
-	var fcts []float64
-	for _, c := range cs {
+	// Completions land in per-flow slots: under host sub-sharding the
+	// callbacks can fire concurrently (and in a different order), and the
+	// float sum below is order-sensitive, so append-in-completion-order
+	// would both race and change the mean's low bits.
+	fcts := make([]float64, len(cs))
+	for i, c := range cs {
+		i := i
 		_, err := d.StartFlow(c.Src, c.Dst, sizeBytes, sel, nil, func(f *tcp.Flow) {
-			fcts = append(fcts, f.FCT().Seconds())
+			fcts[i] = f.FCT().Seconds()
 		})
 		if err != nil {
 			return 0, err

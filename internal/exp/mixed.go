@@ -66,13 +66,16 @@ func runMixed(p Params) Table {
 	// Bulk permutation per family: one 10 MB flow per host.
 	for _, class := range []string{"fattree", "expander"} {
 		d := mkDriver()
-		var fcts []float64
 		hosts := tp.Hosts
+		// Per-flow slots: completions may fire concurrently (and out of
+		// order) under host sub-sharding, and Summarize is order-sensitive.
+		fcts := make([]float64, len(hosts))
 		for h := range hosts {
+			h := h
 			dst := hosts[(h+len(hosts)/2)%len(hosts)]
 			_, err := d.StartFlow(hosts[h], dst, 10_000_000,
 				workload.Selection{Policy: workload.ECMP, Class: class}, nil,
-				func(f *tcp.Flow) { fcts = append(fcts, f.FCT().Seconds()) })
+				func(f *tcp.Flow) { fcts[h] = f.FCT().Seconds() })
 			if err != nil {
 				panic(err)
 			}

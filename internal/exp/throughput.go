@@ -331,7 +331,7 @@ func companionFig7(p Params) {
 	// The driver is deliberately not Instrumented (see above), so shard
 	// after the profile attach and time the run by hand: run_wall_s is a
 	// wall-clock field, free to record without touching gated metrics.
-	d.Shard(p.Shards, p.Lookahead)
+	d.Shard(p.Shards, p.HostShards, p.Lookahead)
 	defer d.Close()
 	rng := rand.New(rand.NewSource(p.Seed))
 	cs := workload.PermutationCommodities(tp, 1, rng)

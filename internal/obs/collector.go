@@ -117,11 +117,15 @@ type profileEntry struct {
 // ProfileSnapshot is one engine's flight-recorder state: the non-empty
 // (kind, plane) bins, the engine's conservative PDES lookahead, and the
 // sim time it had reached when snapshotted (the profiled duration).
+// SubShards, present only when the engine ran host-sub-sharded
+// (host-shards > 1), is the events fired per host sub-shard — the
+// occupancy split the sub-shard speedup predictors need.
 type ProfileSnapshot struct {
 	NetID     int
 	Lookahead sim.Time
 	SimTime   sim.Time
 	Bins      []sim.ProfileBin
+	SubShards []int64
 }
 
 // NewCollector returns a collector with a fresh registry and no streams.
@@ -257,6 +261,7 @@ func (c *Collector) Profiles() []ProfileSnapshot {
 	for i, e := range c.profiles {
 		out = append(out, ProfileSnapshot{
 			NetID: i, Lookahead: e.lookahead, SimTime: e.eng.Now(), Bins: e.rec.Snapshot(),
+			SubShards: e.eng.SubShardEvents(),
 		})
 	}
 	return out
@@ -469,6 +474,15 @@ func (c *Collector) Close() error {
 				c.mw.write(ProfileRecord{
 					Type: KindProfile, Net: snap.NetID, Kind: b.Kind.String(),
 					Plane: b.Plane, Events: b.Events, WallNano: b.WallNs,
+					LookaheadPs: int64(snap.Lookahead), SimPs: int64(snap.SimTime),
+				})
+			}
+			// Host-sub-sharded engines additionally report the per-sub-shard
+			// occupancy split: Kind "subshard" with Plane = sub-shard index.
+			for i, ev := range snap.SubShards {
+				c.mw.write(ProfileRecord{
+					Type: KindProfile, Net: snap.NetID, Kind: KindSubShard,
+					Plane: int32(i), Events: ev,
 					LookaheadPs: int64(snap.Lookahead), SimPs: int64(snap.SimTime),
 				})
 			}

@@ -110,6 +110,12 @@ func ValidSpanComponent(name string) bool {
 	return ok
 }
 
+// KindSubShard is the pseudo event kind of per-host-sub-shard occupancy
+// profile records: Plane carries the sub-shard index instead of a
+// dataplane, Events the events that sub-shard fired. It is not a
+// sim.EventKind — readers must branch on it before ValidEventKind.
+const KindSubShard = "subshard"
+
 // ProfileRecord is one (engine, event-kind, plane) bin of the event-loop
 // flight recorder, written when the collector closes. Events is
 // deterministic for a fixed seed; WallNano is not (it measures this
@@ -119,8 +125,8 @@ func ValidSpanComponent(name string) bool {
 type ProfileRecord struct {
 	Type        string `json:"type"` // "profile"
 	Net         int    `json:"net"`
-	Kind        string `json:"kind"`  // hop | deliver | tx | timer
-	Plane       int32  `json:"plane"` // -1 for timer (no plane)
+	Kind        string `json:"kind"`  // hop | deliver | tx | timer | subshard
+	Plane       int32  `json:"plane"` // -1 for timer (no plane); sub-shard index for "subshard"
 	Events      int64  `json:"events"`
 	WallNano    int64  `json:"wall_ns"`
 	LookaheadPs int64  `json:"lookahead_ps,omitempty"`

@@ -33,8 +33,12 @@ import (
 
 // Config sizes a sharded run.
 type Config struct {
-	// Shards is the number of plane shards (the host shard is extra).
+	// Shards is the number of plane shards (the host side is extra).
 	Shards int
+	// HostShards is the number of host sub-shards the host boundary is
+	// partitioned into (see sim.NewShardSet). Zero or one selects the
+	// classic single host shard.
+	HostShards int
 	// Lookahead is the conservative window span. Zero (or anything above
 	// the network's propagation delay, the provable maximum) selects the
 	// propagation delay.
@@ -70,8 +74,17 @@ type Runner struct {
 // shard — that is what puts a full propagation delay on every cross-shard
 // edge). The engine must not have been sharded before.
 func New(eng *sim.Engine, net *sim.Network, hostSide func(graph.LinkID) bool, cfg Config) *Runner {
-	set := sim.NewShardSet(eng, net, cfg.Shards, cfg.Lookahead, hostSide)
+	hostShards := cfg.HostShards
+	if hostShards < 1 {
+		hostShards = 1
+	}
+	set := sim.NewShardSet(eng, net, cfg.Shards, hostShards, cfg.Lookahead, hostSide)
 	r := &Runner{set: set, gang: par.NewGang(set.Engines())}
+	// Lend the gang to the barrier so large windows commit their child
+	// renumbering and outbox routing in parallel (see sim.ShardSet).
+	set.Parallel = func(fn func(worker int)) {
+		r.gang.Run(func(worker, of int) { fn(worker) })
+	}
 	// Sweep cells discard their drivers wholesale; the finalizer reaps the
 	// gang's parked goroutines for runners nobody Closed explicitly.
 	runtime.SetFinalizer(r, func(r *Runner) { r.gang.Close() })
@@ -81,8 +94,11 @@ func New(eng *sim.Engine, net *sim.Network, hostSide func(graph.LinkID) bool, cf
 // Lookahead reports the effective window span.
 func (r *Runner) Lookahead() sim.Time { return r.set.Lookahead() }
 
-// Shards reports the plane-shard count (excluding the host shard).
-func (r *Runner) Shards() int { return r.set.Engines() - 1 }
+// Shards reports the plane-shard count (excluding the host sub-shards).
+func (r *Runner) Shards() int { return r.set.Engines() - r.set.HostShards() }
+
+// HostShards reports the host sub-shard count (1 = single host shard).
+func (r *Runner) HostShards() int { return r.set.HostShards() }
 
 // RunUntil fires all events with timestamps up to and including deadline,
 // then advances every shard's clock to it — the sharded equivalent of

@@ -87,6 +87,15 @@ type ProfileSummary struct {
 	Bins   []ProfileBinSummary `json:"bins"`
 	Planes []ProfilePlane      `json:"planes,omitempty"`
 
+	// SubShards is the events fired per host sub-shard (index = sub-shard)
+	// and HostShards its length, present only when some profiled engine
+	// ran host-sub-sharded (-host-shards > 1). When present, the speedup
+	// predictors model the host boundary as H concurrent sub-shards: the
+	// critical path per window is the busiest plane plus the busiest
+	// sub-shard, not the whole host boundary.
+	SubShards  []int64 `json:"sub_shards,omitempty"`
+	HostShards int     `json:"host_shards,omitempty"`
+
 	// HostEvents counts deliver + timer events — the work that executes
 	// host-side code and serializes a per-plane partition.
 	HostEvents  int64   `json:"host_events"`
@@ -261,10 +270,27 @@ func (a *agg) profileSummary() *ProfileSummary {
 		}
 	}
 
+	if len(a.profSub) > 1 {
+		s.SubShards = append([]int64(nil), a.profSub...)
+		s.HostShards = len(a.profSub)
+	}
+
 	if n := len(planes); n > 0 && s.Events > 0 {
-		f := s.HostFrac
+		// Serial residue per window: the whole host boundary on a classic
+		// single host shard, only the busiest sub-shard when the boundary
+		// is split across H concurrent sub-shards.
+		serialEv := s.HostEvents
+		if len(s.SubShards) > 1 {
+			serialEv = 0
+			for _, ev := range s.SubShards {
+				if ev > serialEv {
+					serialEv = ev
+				}
+			}
+		}
+		f := float64(serialEv) / float64(s.Events)
 		s.SpeedupAmdahl = 1 / (f + (1-f)/float64(n))
-		if denom := maxPlaneEv + s.HostEvents; denom > 0 {
+		if denom := maxPlaneEv + serialEv; denom > 0 {
 			s.SpeedupEventBound = float64(s.Events) / float64(denom)
 		}
 		if denom := maxPlaneWall + hostWallNs; denom > 0 {
@@ -338,8 +364,15 @@ func (s RunSummary) ProfileString() string {
 		}
 		b.WriteByte('\n')
 	}
-	fmt.Fprintf(&b, "host boundary: %d events (%.2f%% of all), %.3fs wall\n",
+	for i, ev := range p.SubShards {
+		fmt.Fprintf(&b, "host sub-shard %d: %d events\n", i, ev)
+	}
+	fmt.Fprintf(&b, "host boundary: %d events (%.2f%% of all), %.3fs wall",
 		p.HostEvents, p.HostFrac*100, p.HostWallSec)
+	if p.HostShards > 1 {
+		fmt.Fprintf(&b, " (split across %d sub-shards)", p.HostShards)
+	}
+	b.WriteByte('\n')
 	if p.LookaheadPs > 0 {
 		fmt.Fprintf(&b, "lookahead: %s", sim.Time(p.LookaheadPs))
 		if p.EventsPerLookahead > 0 {

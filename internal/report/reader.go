@@ -184,7 +184,9 @@ func (s *Stream) decodeLine(b []byte) error {
 		if err := json.Unmarshal(b, &r); err != nil {
 			return err
 		}
-		if !obs.ValidEventKind(r.Kind) {
+		// "subshard" is a pseudo kind (per-host-sub-shard occupancy), not a
+		// sim.EventKind — accept it alongside the real kinds.
+		if r.Kind != obs.KindSubShard && !obs.ValidEventKind(r.Kind) {
 			return fmt.Errorf("profile net %d: unknown event kind %q", r.Net, r.Kind)
 		}
 		s.Profiles = append(s.Profiles, r)

@@ -125,8 +125,10 @@ type RunSummary struct {
 	// Shards and LookaheadPs record the plane-sharded PDES configuration
 	// (pnetbench -shards/-lookahead; 0 = serial engine). Like Workers,
 	// they change only wall clock, never a gated metric: sharded output
-	// is bit-identical to serial.
+	// is bit-identical to serial. HostShards records the host sub-shard
+	// count (pnetbench -host-shards; 0/1 = single host shard).
 	Shards      int   `json:"shards,omitempty"`
+	HostShards  int   `json:"host_shards,omitempty"`
 	LookaheadPs int64 `json:"lookahead_ps,omitempty"`
 
 	Flows       int64   `json:"flows"`
@@ -175,8 +177,10 @@ type Meta struct {
 	Workers    int
 	GOMAXPROCS int
 	// Shards and LookaheadPs attribute the run's PDES sharding (0 = the
-	// serial engine).
+	// serial engine); HostShards the host sub-shard count (0/1 = single
+	// host shard).
 	Shards      int
+	HostShards  int
 	LookaheadPs int64
 }
 
@@ -215,6 +219,10 @@ type agg struct {
 	profSimPs   int64 // profiled sim time, summed over engines
 	profLookPs  int64 // conservative PDES lookahead (max over engines)
 	profNets    map[int]bool
+	// profSub is events fired per host sub-shard (index = sub-shard),
+	// summed index-wise across host-sub-sharded engines. Empty unless some
+	// profiled engine ran with host-shards > 1.
+	profSub []int64
 
 	// Determinism fingerprints: XOR folds of each engine's final chains
 	// (commutative, so worker count cannot change them). The stream path
@@ -317,6 +325,19 @@ func (a *agg) addFlow(f obs.FlowRecord) {
 
 // addProfileRecord folds one JSONL profile bin (the stream path).
 func (a *agg) addProfileRecord(r obs.ProfileRecord) {
+	if r.Kind == obs.KindSubShard {
+		// Pseudo kind: Plane is the sub-shard index, Events its fired count.
+		a.addSubShard(int(r.Plane), r.Events)
+		if !a.profNets[r.Net] {
+			a.profNets[r.Net] = true
+			a.profEngines++
+			a.profSimPs += r.SimPs
+		}
+		if r.LookaheadPs > a.profLookPs {
+			a.profLookPs = r.LookaheadPs
+		}
+		return
+	}
 	ki, ok := sim.ParseEventKind(r.Kind)
 	if !ok {
 		return // the reader rejects these; defensive for direct callers
@@ -351,6 +372,18 @@ func (a *agg) addProfileSnapshot(snap obs.ProfileSnapshot) {
 		b[1] += bin.WallNs
 		a.profBins[k] = b
 	}
+	for i, ev := range snap.SubShards {
+		a.addSubShard(i, ev)
+	}
+}
+
+// addSubShard folds one host sub-shard's fired-event count, growing the
+// index-wise sum as needed.
+func (a *agg) addSubShard(idx int, events int64) {
+	for idx >= len(a.profSub) {
+		a.profSub = append(a.profSub, 0)
+	}
+	a.profSub[idx] += events
 }
 
 func (a *agg) addSolver(r obs.SolverRecord) {
@@ -398,6 +431,7 @@ func (a *agg) summary(m Meta) RunSummary {
 		Workers:       m.Workers,
 		GOMAXPROCS:    m.GOMAXPROCS,
 		Shards:        m.Shards,
+		HostShards:    m.HostShards,
 		LookaheadPs:   m.LookaheadPs,
 		Flows:         int64(len(a.fcts)),
 		FlowBytes:     a.bytes,

@@ -114,6 +114,22 @@ func (e *Engine) EventsFired() uint64 {
 	return e.fired
 }
 
+// SubShardEvents returns the per-host-sub-shard fired-event counts when
+// this engine heads a ShardSet with host sub-sharding on (H > 1), and
+// nil otherwise — the occupancy telemetry behind `pnetstat profile`'s
+// sub-shard breakdown. Call at a quiesced point.
+func (e *Engine) SubShardEvents() []int64 {
+	sh := e.shard
+	if sh == nil || sh.idx != 0 || sh.set.hostShards <= 1 {
+		return nil
+	}
+	out := make([]int64, sh.set.hostShards)
+	for i := range out {
+		out[i] = int64(sh.set.engines[i].fired)
+	}
+	return out
+}
+
 // EventsScheduled returns the number of events ever scheduled. On a
 // sharded engine the set's shared counter is the total.
 func (e *Engine) EventsScheduled() uint64 {

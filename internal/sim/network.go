@@ -134,9 +134,24 @@ type Network struct {
 	// shardPools are per-shard packet/span freelists for the sharded
 	// engine (see shard.go): a plane shard dropping or blackholing a
 	// packet inside a window cannot touch the shared freelists, so it
-	// parks the carcass here and the barrier splices it back. Nil in
-	// serial runs.
+	// parks the carcass here and the barrier splices it back. Host
+	// sub-shards 1..hostShards-1 instead keep their pool permanently —
+	// their transports allocate and release on the same sub-shard (flow
+	// endpoints are colocated), so the pool is a private freelist that
+	// never needs splicing. Nil in serial runs.
 	shardPools []shardPool
+
+	// Host sub-sharding state (see hostbind.go). binds is per-node, nil
+	// except at hosts under an H>1 ShardSet; hostUplinks lists each
+	// host's NIC uplink queues for rebinding on Colocate; ufParent /
+	// ufMembers are the colocation union-find (members only at roots).
+	shardSet    *ShardSet
+	hostShards  int
+	binds       []*HostBind
+	serialBind  *HostBind
+	hostUplinks [][]graph.LinkID
+	ufParent    []graph.NodeID
+	ufMembers   [][]graph.NodeID
 
 	// Span (latency attribution) state: a pool of SpanLogs and the
 	// enable flag transports consult once per flow. See span.go.
@@ -305,28 +320,80 @@ func (n *Network) releaseOn(p *Packet, shard int) {
 }
 
 // bindShards assigns every queue to its owning shard engine: host-side
-// queues (the NIC uplinks, per hostSide) to the host shard, switch queues
-// to 1 + plane mod planeShards. Called once by NewShardSet.
+// queues (the NIC uplinks, per hostSide) to their host's sub-shard,
+// switch queues to hostShards + plane mod planeShards. With H>1 it also
+// builds the per-host placement cells and the colocation union-find
+// (hosts round-robined over sub-shards in node-ID order — deterministic,
+// and refined by Colocate as flows couple them). Called once by
+// NewShardSet.
 func (n *Network) bindShards(set *ShardSet, hostSide func(graph.LinkID) bool) {
-	planes := len(set.engines) - 1
+	n.shardSet = set
+	n.hostShards = set.hostShards
+	planes := len(set.engines) - set.hostShards
 	n.shardPools = make([]shardPool, len(set.engines))
+	if set.hostShards > 1 {
+		n.binds = make([]*HostBind, n.G.NumNodes())
+		n.hostUplinks = make([][]graph.LinkID, n.G.NumNodes())
+		var hosts []graph.NodeID
+		for i := range n.queues {
+			id := graph.LinkID(i)
+			if hostSide(id) {
+				src := n.G.Link(id).Src
+				if n.hostUplinks[src] == nil {
+					hosts = append(hosts, src)
+				}
+				n.hostUplinks[src] = append(n.hostUplinks[src], id)
+			}
+		}
+		// Queue order is link order, so hosts arrive sorted by first
+		// uplink, not by node ID; sort for a topology-stable assignment.
+		for i := 1; i < len(hosts); i++ {
+			for j := i; j > 0 && hosts[j] < hosts[j-1]; j-- {
+				hosts[j], hosts[j-1] = hosts[j-1], hosts[j]
+			}
+		}
+		n.ufParent = make([]graph.NodeID, n.G.NumNodes())
+		for i := range n.ufParent {
+			n.ufParent[i] = graph.NodeID(i)
+		}
+		n.ufMembers = make([][]graph.NodeID, n.G.NumNodes())
+		for k, h := range hosts {
+			s := k % set.hostShards
+			n.binds[h] = &HostBind{eng: set.engines[s], shard: s}
+			n.ufMembers[h] = []graph.NodeID{h}
+		}
+	}
 	for i := range n.queues {
 		q := &n.queues[i]
-		if q.plane < 0 || hostSide(graph.LinkID(i)) {
-			q.eng = set.engines[0]
-			q.shard = 0
+		if hostSide(graph.LinkID(i)) {
+			if n.binds != nil {
+				if hb := n.binds[n.G.Link(graph.LinkID(i)).Src]; hb != nil {
+					q.eng, q.shard = hb.eng, hb.shard
+					continue
+				}
+			}
+			q.eng, q.shard = set.engines[0], 0
 			continue
 		}
-		s := 1 + int(q.plane)%planes
+		if q.plane < 0 {
+			q.eng, q.shard = set.engines[0], 0
+			continue
+		}
+		s := set.hostShards + int(q.plane)%planes
 		q.eng = set.engines[s]
 		q.shard = s
 	}
 }
 
-// spliceShardPools folds every shard pool back into the shared freelists.
-// Called at window barriers, with all shards quiesced.
+// spliceShardPools folds the plane shards' pools back into the shared
+// freelists. Called at window barriers, with all shards quiesced. Host
+// sub-shard pools (indices 1..hostShards-1) are deliberately skipped:
+// they are permanent per-sub-shard freelists (see shardPools).
 func (n *Network) spliceShardPools() {
 	for i := range n.shardPools {
+		if i > 0 && i < n.hostShards {
+			continue
+		}
 		sp := &n.shardPools[i]
 		for p := sp.pkts; p != nil; {
 			next := p.next
@@ -374,6 +441,30 @@ func (n *Network) NewPacket() *Packet {
 	}
 	return &Packet{net: n}
 }
+
+// NewPacketOn returns a zeroed packet from the freelist owned by the
+// given shard (a HostBind.Shard value). Shard 0 — serial runs, H=1, and
+// the primary host sub-shard — is the shared freelist; other host
+// sub-shards draw from their private pool, which their own releases
+// feed, so the packet path stays allocation-free inside windows without
+// any shard ever touching another's freelist.
+func (n *Network) NewPacketOn(shard int) *Packet {
+	if shard <= 0 {
+		return n.NewPacket()
+	}
+	sp := &n.shardPools[shard]
+	if p := sp.pkts; p != nil {
+		sp.pkts = p.next
+		*p = Packet{net: n}
+		return p
+	}
+	return &Packet{net: n}
+}
+
+// ReleaseOn is Release from code running on the given shard (a
+// HostBind.Shard value): shard 0 releases to the shared freelist,
+// anything else parks in that shard's pool.
+func (n *Network) ReleaseOn(p *Packet, shard int) { n.releaseOn(p, shard) }
 
 // Release returns a delivered or dropped packet to the freelist. Callers
 // must not retain the packet afterwards. A span the transport did not

@@ -1,15 +1,26 @@
 package sim
 
 // Plane-sharded conservative PDES (ROADMAP item 1): a ShardSet splits one
-// logical simulation across several Engines — engines[0] is the *host
-// shard* (transport code: delivers, timers, and the host-side NIC queues)
-// and engines[1..] are *plane shards*, each owning the switch queues of
-// the dataplanes mapped to it. Planes are physically disjoint in a P-Net,
-// so the only cross-shard event edges are host→ToR and ToR→host packet
-// propagation — both one full propagation delay long. That delay is the
-// conservative lookahead: all shards may fire events with timestamps
-// inside the window [T, T+lookahead) concurrently without ever needing an
-// event another shard has not yet produced.
+// logical simulation across several Engines — engines[0..H-1] are *host
+// sub-shards* (transport code: delivers, timers, and the host-side NIC
+// queues, partitioned by host; H=1 is the classic single host shard) and
+// engines[H..] are *plane shards*, each owning the switch queues of the
+// dataplanes mapped to it. Planes are physically disjoint in a P-Net and
+// hosts only touch each other through the fabric, so every cross-shard
+// event edge — host↔ToR in either direction, between any pair of shards —
+// is one full propagation delay long. That delay is the conservative
+// lookahead: all shards may fire events with timestamps inside the window
+// [T, T+lookahead) concurrently without ever needing an event another
+// shard has not yet produced.
+//
+// Host sub-sharding has one extra constraint: a transport flow couples
+// its two endpoints synchronously (zero-delay calls between sender and
+// receiver state), so both ends of a flow must share a sub-shard. The
+// binding layer in hostbind.go (Network.Colocate) maintains that by
+// union-finding host components as flows are created; binding is pure
+// placement and never affects event order. fn timers stay on a single
+// boundary-serial heap owned by engines[0] regardless of H, preserving
+// the serial semantics of transport callbacks.
 //
 // The determinism contract (PR 4/7) is byte-identical output at any shard
 // count, including the order-sensitive global fingerprint chain. The
@@ -84,54 +95,78 @@ type windowLog struct {
 // engineShard is an Engine's membership in a ShardSet.
 type engineShard struct {
 	set *ShardSet
-	idx int // 0 = host shard, 1.. = plane shards
+	idx int // 0..hostShards-1 = host sub-shards, rest = plane shards
 
-	// timers holds fn (callback) events — host shard only. Keeping them
+	// timers holds fn (callback) events — engines[0] only. Keeping them
 	// out of the actor heap lets the window protocol treat the next timer
 	// as a boundary without scanning the heap.
 	timers eventHeap
 
+	// fnPark stages fn events scheduled by this host sub-shard inside a
+	// window: the shared timer heap cannot be pushed concurrently, so the
+	// events wait here (logged as children, so they get true seqs) and the
+	// barrier flushes them to engines[0]'s timers once renumbered.
+	fnPark []*Event
+
 	wl windowLog
 }
 
-// ShardSet couples a host engine with its plane-shard engines. Construct
-// with NewShardSet; drive with the window protocol in internal/pdes.
+// ShardSet couples a host engine with its sub-shard and plane-shard
+// engines. Construct with NewShardSet; drive with the window protocol in
+// internal/pdes.
 type ShardSet struct {
-	engines []*Engine // engines[0] is the host shard
-	net     *Network
-	look    Time
-	seq     uint64 // shared true-seq counter, continues the host engine's
+	engines    []*Engine // engines[0..hostShards-1] host sub-shards, rest plane shards
+	net        *Network
+	look       Time
+	hostShards int
+	seq        uint64 // shared true-seq counter, continues the host engine's
 
 	windowOpen  bool
 	windowLimit Time
 
 	mergeIdx   []int       // k-way merge scratch
 	mergeHeads []mergeHead // cached per-shard merge keys
+
+	// Parallel, when set, fans a function out over one worker per engine
+	// (worker i handles engine i) and barriers before returning — the
+	// driver's gang, lent to EndWindow so child renumbering and outbox
+	// flushing can run in parallel on large windows. Nil commits serially.
+	Parallel func(fn func(worker int))
 }
 
-// NewShardSet splits eng (which becomes the host shard) and net across
-// shards plane-shard engines. Plane p's switch queues go to shard
-// 1 + p mod shards; queues whose source node is a host (hostSide) stay on
-// the host shard, which is what gives every cross-shard edge a full
-// propagation delay of lookahead. lookahead ≤ 0 or > net.PropDelay()
-// selects net.PropDelay() — larger values would be unsound, smaller ones
-// only shrink the window. Events already scheduled on eng are re-routed
-// to their owning shards with their seqs intact.
-func NewShardSet(eng *Engine, net *Network, shards int, lookahead Time, hostSide func(graph.LinkID) bool) *ShardSet {
+// parallelCommitMin is the window child count below which EndWindow
+// commits serially even when Parallel is available: a gang dispatch
+// costs more than patching a few hundred pointers.
+const parallelCommitMin = 256
+
+// NewShardSet splits eng (which becomes host sub-shard 0) and net across
+// hostShards host sub-shards plus shards plane-shard engines. Plane p's
+// switch queues go to engine hostShards + p mod shards; queues whose
+// source node is a host (hostSide) go to their host's sub-shard, which is
+// what gives every cross-shard edge a full propagation delay of
+// lookahead. hostShards is the host-boundary partition width (1 = the
+// classic single host shard). lookahead ≤ 0 or > net.PropDelay() selects
+// net.PropDelay() — larger values would be unsound, smaller ones only
+// shrink the window. Events already scheduled on eng are re-routed to
+// their owning shards with their seqs intact.
+func NewShardSet(eng *Engine, net *Network, shards, hostShards int, lookahead Time, hostSide func(graph.LinkID) bool) *ShardSet {
 	if eng.shard != nil {
 		panic("sim: engine is already part of a ShardSet")
 	}
 	if shards < 1 {
 		panic(fmt.Sprintf("sim: NewShardSet with %d shards", shards))
 	}
+	if hostShards < 1 {
+		panic(fmt.Sprintf("sim: NewShardSet with %d host shards", hostShards))
+	}
 	if lookahead <= 0 || lookahead > net.PropDelay() {
 		lookahead = net.PropDelay()
 	}
-	set := &ShardSet{net: net, look: lookahead, seq: eng.seq}
-	set.engines = make([]*Engine, 1+shards)
+	set := &ShardSet{net: net, look: lookahead, hostShards: hostShards, seq: eng.seq}
+	set.engines = make([]*Engine, hostShards+shards)
 	set.engines[0] = eng
 	eng.shard = &engineShard{set: set, idx: 0}
-	for i := 1; i <= shards; i++ {
+	for i := 1; i < hostShards+shards; i++ {
 		e := &Engine{now: eng.now, Fingerprint: eng.Fingerprint}
 		if eng.Recorder != nil {
 			e.Recorder = NewFlightRecorder()
@@ -161,10 +196,14 @@ func NewShardSet(eng *Engine, net *Network, shards int, lookahead Time, hostSide
 	return set
 }
 
-// Engines returns the shard count including the host shard.
+// Engines returns the total engine count (host sub-shards + plane shards).
 func (s *ShardSet) Engines() int { return len(s.engines) }
 
-// Host returns the host-shard engine (the engine NewShardSet was given).
+// HostShards returns the host sub-shard count H (1 = single host shard).
+func (s *ShardSet) HostShards() int { return s.hostShards }
+
+// Host returns host sub-shard 0 (the engine NewShardSet was given; the
+// owner of the timer heap and the shared pools).
 func (s *ShardSet) Host() *Engine { return s.engines[0] }
 
 // Lookahead returns the effective conservative lookahead.
@@ -172,12 +211,17 @@ func (s *ShardSet) Lookahead() Time { return s.look }
 
 // engineFor returns the shard that must fire an actor event: packet
 // arrivals run where the *next* queue lives (the arrival enqueues there),
-// final-hop arrivals run transport code on the host shard, and a queue's
-// tx-complete runs on its owner.
+// final-hop arrivals run transport code on the destination host's
+// sub-shard, and a queue's tx-complete runs on its owner.
 func (s *ShardSet) engineFor(who actor) *Engine {
 	switch a := who.(type) {
 	case *Packet:
 		if int(a.Hop) == len(a.Route)-1 {
+			if s.hostShards > 1 {
+				if b := s.net.binds[s.net.G.Link(a.Route[a.Hop]).Dst]; b != nil {
+					return b.eng
+				}
+			}
 			return s.engines[0]
 		}
 		return s.net.queues[a.Route[a.Hop+1]].eng
@@ -189,20 +233,23 @@ func (s *ShardSet) engineFor(who actor) *Engine {
 
 // route places a newly scheduled actor event. Inside a window the firing
 // shard logs it as a child under a provisional seq — same-shard events
-// enter the local heap (they may still fire this window), cross-shard
-// events park in the outbox (their timestamps are ≥ the window limit by
-// the lookahead argument, so parking them is invisible). Outside a window
-// the shared counter assigns the true seq immediately.
+// enter the local heap (they may still fire this window) and occupy their
+// children slot; cross-shard events park in the outbox (their timestamps
+// are ≥ the window limit by the lookahead argument, so parking them is
+// invisible) and leave a nil children slot, so the commit pass touches
+// each event exactly once (the outbox patch owns cross-shard seqs).
+// Outside a window the shared counter assigns the true seq immediately.
 func (sh *engineShard) route(e *Engine, ev *Event) {
 	set := sh.set
 	tgt := set.engineFor(ev.who)
 	if set.windowOpen {
 		wl := &sh.wl
 		ev.seq = provSeqBase + uint64(len(wl.children))
-		wl.children = append(wl.children, ev)
 		if tgt == e {
+			wl.children = append(wl.children, ev)
 			e.events.push(ev)
 		} else {
+			wl.children = append(wl.children, nil)
 			ti := tgt.shard.idx
 			wl.outbox[ti] = append(wl.outbox[ti], ev)
 		}
@@ -213,17 +260,21 @@ func (sh *engineShard) route(e *Engine, ev *Event) {
 	tgt.events.push(ev)
 }
 
-// routeFn places a newly scheduled fn (timer) event on the host shard's
-// timer heap. Timers are window boundaries, so one landing *inside* the
-// open window would mean shards have already fired events the timer was
-// entitled to reorder — impossible while every timer delay exceeds the
-// lookahead, and checked here so a violation fails loudly instead of
-// diverging silently.
+// routeFn places a newly scheduled fn (timer) event on the boundary
+// timer heap (owned by engines[0]). Timers are window boundaries, so one
+// landing *inside* the open window would mean shards have already fired
+// events the timer was entitled to reorder — impossible while every
+// timer delay exceeds the lookahead, and checked here so a violation
+// fails loudly instead of diverging silently. In-window, host sub-shards
+// cannot push the shared heap concurrently, so the event is staged in
+// the sub-shard's fnPark (logged as a child for renumbering) and flushed
+// by the barrier; a parked event reads as Pending, so lazy-wakeup timers
+// (RTO) behave exactly as on the serial engine.
 func (sh *engineShard) routeFn(e *Engine, ev *Event) {
 	set := sh.set
 	host := set.engines[0]
 	if set.windowOpen {
-		if e != host {
+		if sh.idx >= set.hostShards {
 			panic("sim: fn event scheduled from a plane shard during an open window")
 		}
 		if ev.at < set.windowLimit {
@@ -232,7 +283,7 @@ func (sh *engineShard) routeFn(e *Engine, ev *Event) {
 		wl := &sh.wl
 		ev.seq = provSeqBase + uint64(len(wl.children))
 		wl.children = append(wl.children, ev)
-		host.shard.timers.push(ev)
+		sh.fnPark = append(sh.fnPark, ev)
 		return
 	}
 	set.seq++
@@ -374,98 +425,183 @@ func (e *Engine) runWindow(limit Time) int {
 }
 
 // EndWindow is the barrier: with all shards quiesced, it replays the
-// window's fired events in serial order — the k-way merge by (at, true
-// seq) — folding the shared fingerprinter and assigning true seqs to
-// every child in exactly the order the serial engine would have, then
-// flushes cross-shard events to their heaps and returns freelisted
-// packets to the shared pools. Returns the number of events committed.
+// window's fired events in serial order, folding the shared
+// fingerprinter and assigning true seqs to every child in exactly the
+// order the serial engine would have, then flushes cross-shard events to
+// their heaps and returns freelisted packets to the shared pools.
+// Returns the number of events committed.
+//
+// The protocol is split into an order-sensitive serial pass and a
+// parallelizable commit pass:
+//
+//   - Pass 1 (serial) computes the merge order and fills trueOf — the
+//     child-index → true-seq table — and folds the fingerprint chain.
+//     When only one shard fired anything, the merge collapses to a
+//     linear walk of that shard's log (the single-occupancy fast path:
+//     no k-way scan, no head refreshes).
+//   - A serial outbox sweep then renumbers cross-shard children (they
+//     never fire or recycle inside their creating window, so their seqs
+//     are unconditionally provisional).
+//   - Pass 2 (commitShard, parallel across engines when the driver lent
+//     a gang and the window is large enough) patches same-shard children,
+//     routes every outbox into its target heap, and resets the logs.
+//     Worker w touches only engines[w]'s heap, children, and trueOf plus
+//     each source's outbox[w] — all disjoint, so no synchronization.
 func (s *ShardSet) EndWindow() int {
 	s.windowOpen = false
 	fp := s.engines[0].Fingerprint
-	// Merge state: one cached (at, true-seq) key per shard with pending
-	// records, refreshed only when that shard's head advances. A key
-	// resolved through trueOf stays valid across other shards' commits —
-	// committed true seqs never change — so each iteration costs a scan
-	// of at most K scalar pairs plus one head refresh for the winner.
-	idx := s.mergeIdx
-	heads := s.mergeHeads
-	refresh := func(i int) {
-		wl := &s.engines[i].shard.wl
-		j := idx[i]
-		if j >= len(wl.fired) {
-			heads[i].at = -1 // exhausted
-			return
+	busy, nBusy := -1, 0
+	children := 0
+	for i, e := range s.engines {
+		if len(e.shard.wl.fired) > 0 {
+			busy, nBusy = i, nBusy+1
 		}
-		fr := &wl.fired[j]
-		ts := fr.seq
-		if ts >= provSeqBase {
-			// Resolvable: the child's parent fired earlier in this
-			// shard's log and has already committed (invariant 2).
-			ts = wl.trueOf[ts-provSeqBase]
-		}
-		heads[i] = mergeHead{at: fr.at, seq: ts}
-	}
-	for i := range idx {
-		idx[i] = 0
-		refresh(i)
+		children += len(e.shard.wl.children)
 	}
 	total := 0
-	for {
-		best := -1
-		var bestAt Time
-		var bestSeq uint64
-		for i := range heads {
-			h := heads[i]
-			if h.at < 0 {
-				continue
+	if nBusy == 1 {
+		// Single-occupancy fast path: this shard's log order IS the
+		// serial order (invariant 1), so commit it front to back.
+		wl := &s.engines[busy].shard.wl
+		for j := range wl.fired {
+			fr := &wl.fired[j]
+			if len(wl.trueOf) != int(fr.childLo) {
+				panic("sim: shard window child ranges out of order")
 			}
-			if best < 0 || h.at < bestAt || (h.at == bestAt && h.seq < bestSeq) {
-				best, bestAt, bestSeq = i, h.at, h.seq
+			for c := fr.childLo; c < fr.childHi; c++ {
+				s.seq++
+				wl.trueOf = append(wl.trueOf, s.seq)
 			}
-		}
-		if best < 0 {
-			break
-		}
-		wl := &s.engines[best].shard.wl
-		fr := &wl.fired[idx[best]]
-		idx[best]++
-		if len(wl.trueOf) != int(fr.childLo) {
-			panic("sim: shard window child ranges out of order")
-		}
-		for c := fr.childLo; c < fr.childHi; c++ {
-			ev := wl.children[c]
-			prov := provSeqBase + uint64(c)
-			s.seq++
-			wl.trueOf = append(wl.trueOf, s.seq)
-			// A pooled child that already fired this window may have been
-			// recycled and reused; only rewrite the Event if it still
-			// carries this child's provisional seq (the fired record keeps
-			// its own copy either way).
-			if ev.seq == prov {
-				ev.seq = s.seq
+			if fp != nil {
+				fp.fold(fr.at, fr.info)
 			}
+			total++
 		}
-		if fp != nil {
-			fp.fold(fr.at, fr.info)
+	} else if nBusy > 1 {
+		// Merge state: one cached (at, true-seq) key per shard with
+		// pending records, refreshed only when that shard's head advances.
+		// A key resolved through trueOf stays valid across other shards'
+		// commits — committed true seqs never change — so each iteration
+		// costs a scan of at most K scalar pairs plus one head refresh for
+		// the winner.
+		idx := s.mergeIdx
+		heads := s.mergeHeads
+		refresh := func(i int) {
+			wl := &s.engines[i].shard.wl
+			j := idx[i]
+			if j >= len(wl.fired) {
+				heads[i].at = -1 // exhausted
+				return
+			}
+			fr := &wl.fired[j]
+			ts := fr.seq
+			if ts >= provSeqBase {
+				// Resolvable: the child's parent fired earlier in this
+				// shard's log and has already committed (invariant 2).
+				ts = wl.trueOf[ts-provSeqBase]
+			}
+			heads[i] = mergeHead{at: fr.at, seq: ts}
 		}
-		refresh(best)
-		total++
+		for i := range idx {
+			idx[i] = 0
+			refresh(i)
+		}
+		for {
+			best := -1
+			var bestAt Time
+			var bestSeq uint64
+			for i := range heads {
+				h := heads[i]
+				if h.at < 0 {
+					continue
+				}
+				if best < 0 || h.at < bestAt || (h.at == bestAt && h.seq < bestSeq) {
+					best, bestAt, bestSeq = i, h.at, h.seq
+				}
+			}
+			if best < 0 {
+				break
+			}
+			wl := &s.engines[best].shard.wl
+			fr := &wl.fired[idx[best]]
+			idx[best]++
+			if len(wl.trueOf) != int(fr.childLo) {
+				panic("sim: shard window child ranges out of order")
+			}
+			for c := fr.childLo; c < fr.childHi; c++ {
+				s.seq++
+				wl.trueOf = append(wl.trueOf, s.seq)
+			}
+			if fp != nil {
+				fp.fold(fr.at, fr.info)
+			}
+			refresh(best)
+			total++
+		}
 	}
+	// Cross-shard children renumber serially before the commit fans out:
+	// the commit worker that pushes an outbox event reads its seq, and
+	// racing that read against the creating shard's patch would need a
+	// guard the serial sweep makes unnecessary.
 	for _, e := range s.engines {
 		wl := &e.shard.wl
-		for t, box := range wl.outbox {
-			for k, ev := range box {
-				s.engines[t].events.push(ev)
-				box[k] = nil
+		for _, box := range wl.outbox {
+			for _, ev := range box {
+				ev.seq = wl.trueOf[ev.seq-provSeqBase]
 			}
-			wl.outbox[t] = box[:0]
 		}
-		wl.fired = wl.fired[:0]
-		wl.children = wl.children[:0]
-		wl.trueOf = wl.trueOf[:0]
+	}
+	if s.Parallel != nil && children >= parallelCommitMin {
+		s.Parallel(s.commitShard)
+	} else {
+		for w := range s.engines {
+			s.commitShard(w)
+		}
+	}
+	// Flush fn events the host sub-shards parked during the window; their
+	// seqs are true now, so heap order is the serial order (invariant 3).
+	host := s.engines[0]
+	for i := 0; i < s.hostShards; i++ {
+		sh := s.engines[i].shard
+		for k, ev := range sh.fnPark {
+			host.shard.timers.push(ev)
+			sh.fnPark[k] = nil
+		}
+		sh.fnPark = sh.fnPark[:0]
 	}
 	s.net.spliceShardPools()
 	return total
+}
+
+// commitShard is one worker's slice of EndWindow's commit pass: patch
+// engine w's same-shard children to their true seqs, drain every
+// engine's outbox bound for w into w's heap, and reset w's window log.
+// Safe to run concurrently for distinct w — all touched state is either
+// owned by engine w or a distinct outbox slot.
+func (s *ShardSet) commitShard(w int) {
+	wl := &s.engines[w].shard.wl
+	for i, ev := range wl.children {
+		// A pooled child that already fired this window may have been
+		// recycled and reused; only rewrite the Event if it still carries
+		// this child's provisional seq (the fired record keeps its own
+		// copy either way). Nil slots are cross-shard children, renumbered
+		// by the serial outbox sweep.
+		if ev != nil && ev.seq == provSeqBase+uint64(i) {
+			ev.seq = wl.trueOf[i]
+		}
+	}
+	tgt := s.engines[w]
+	for _, e := range s.engines {
+		box := e.shard.wl.outbox[w]
+		for k, ev := range box {
+			tgt.events.push(ev)
+			box[k] = nil
+		}
+		e.shard.wl.outbox[w] = box[:0]
+	}
+	wl.fired = wl.fired[:0]
+	wl.children = wl.children[:0]
+	wl.trueOf = wl.trueOf[:0]
 }
 
 // StepSerial fires the single globally-next event — timer or actor —

@@ -84,6 +84,11 @@ func (c Config) withDefaults() Config {
 type Flow struct {
 	net *sim.Network
 	cfg Config
+	// bind is the host placement cell both endpoints share (NewFlow
+	// colocates them): the engine whose clock and timers this flow's
+	// callbacks use, and the pool its packets come from. On serial runs
+	// it names the network's engine, so every path below is uniform.
+	bind *sim.HostBind
 
 	// ID labels the flow in packet traces (sim.Packet.FlowID). Callers
 	// that want per-flow telemetry assign it before Start; the workload
@@ -150,6 +155,12 @@ func NewFlow(net *sim.Network, cfg Config, paths []graph.Path, sizeBytes int64) 
 		spanOn:   net.SpansOn(),
 	}
 	src, dst := paths[0].Src(net.G), paths[0].Dst(net.G)
+	// Sender and receiver state live in one struct and call each other
+	// synchronously, so under host sub-sharding both endpoints must fire
+	// on one sub-shard; Colocate merges their components (a no-op when
+	// sub-sharding is off or they already share one).
+	net.Colocate(src, dst)
+	f.bind = net.BindOf(src)
 	for i, p := range paths {
 		if p.Src(net.G) != src || p.Dst(net.G) != dst {
 			return nil, fmt.Errorf("tcp: path %d endpoints differ from path 0", i)
@@ -200,7 +211,7 @@ func (f *Flow) Start() {
 		panic("tcp: flow started twice")
 	}
 	f.started = true
-	f.Started = f.net.Eng.Now()
+	f.Started = f.bind.Eng().Now()
 	f.lastProgress = f.Started
 	for _, sf := range f.subs {
 		sf.trySend()
@@ -227,7 +238,7 @@ func (f *Flow) checkComplete() {
 		}
 	}
 	f.done = true
-	f.Finished = f.net.Eng.Now()
+	f.Finished = f.bind.Eng().Now()
 	for _, sf := range f.subs {
 		if sf.rtoEv != nil {
 			sf.rtoEv.Cancel()
@@ -358,20 +369,21 @@ func (sf *subflow) trySend() {
 // transmit sends one packet. fresh guards Karn's rule: only
 // first-transmission packets may be timed for RTT estimation.
 func (sf *subflow) transmit(seq int64, fresh bool) {
-	p := sf.f.net.NewPacket()
+	bind := sf.f.bind
+	p := sf.f.net.NewPacketOn(bind.Shard())
 	p.Size = sf.f.cfg.MTU
 	p.Route = sf.fwd
 	p.Deliver = sf.dataH
 	p.Seq = seq
 	p.FlowID = sf.f.ID
 	if sf.f.spanOn {
-		p.AttachSpan(sf.f.net.NewSpan(sf.spanCause, sf.f.net.Eng.Now()))
+		p.AttachSpan(sf.f.net.NewSpanOn(sf.spanCause, bind.Eng().Now(), bind.Shard()))
 	}
 	sf.f.net.Send(p)
 	if fresh && !sf.timing {
 		sf.timing = true
 		sf.timedSeq = seq
-		sf.timedAt = sf.f.net.Eng.Now()
+		sf.timedAt = bind.Eng().Now()
 	}
 	sf.armRTO()
 }
@@ -388,7 +400,7 @@ func (sf *subflow) rto() sim.Time {
 }
 
 func (sf *subflow) armRTO() {
-	eng := sf.f.net.Eng
+	eng := sf.f.bind.Eng()
 	sf.rtoDeadline = eng.Now() + (sf.rto() << sf.backoff)
 	if sf.rtoEv == nil || !sf.rtoEv.Pending() {
 		sf.rtoEv = eng.At(sf.rtoDeadline, sf.rtoWake)
@@ -401,7 +413,7 @@ func (sf *subflow) rtoWake() {
 	if sf.f.done || sf.sndUna >= sf.sndMax {
 		return // idle; next transmission re-arms
 	}
-	eng := sf.f.net.Eng
+	eng := sf.f.bind.Eng()
 	if eng.Now() < sf.rtoDeadline {
 		sf.rtoEv = eng.At(sf.rtoDeadline, sf.rtoWake)
 		return
@@ -483,7 +495,7 @@ func (sf *subflow) onData(p *sim.Packet) {
 	// and ACK enqueue all happen at this instant, so the combined journey
 	// stays contiguous from the original send to the ACK's arrival.
 	span := p.TakeSpan()
-	sf.f.net.Release(p)
+	sf.f.net.ReleaseOn(p, sf.f.bind.Shard())
 	if seq+1 > sf.rcvMax {
 		sf.rcvMax = seq + 1
 	}
@@ -511,7 +523,7 @@ func (sf *subflow) onData(p *sim.Packet) {
 			sf.f.OnDelivered(sf.f)
 		}
 	}
-	ack := sf.f.net.NewPacket()
+	ack := sf.f.net.NewPacketOn(sf.f.bind.Shard())
 	ack.Size = sf.f.cfg.AckSize
 	ack.Route = sf.rev
 	ack.Deliver = sf.ackH
@@ -529,9 +541,9 @@ func (sf *subflow) onAck(p *sim.Packet) {
 	ackSeq := p.AckSeq
 	ece := p.ECE
 	span := p.TakeSpan()
-	sf.f.net.Release(p)
+	sf.f.net.ReleaseOn(p, sf.f.bind.Shard())
 	if sf.f.done {
-		sf.f.net.FreeSpan(span)
+		sf.f.net.FreeSpanOn(span, sf.f.bind.Shard())
 		return
 	}
 	if sf.f.cfg.DCTCP {
@@ -545,7 +557,7 @@ func (sf *subflow) onAck(p *sim.Packet) {
 		// sum to the FCT exactly.
 		sf.spanCause = sim.CauseFresh
 		if sf.f.spanOn {
-			now := sf.f.net.Eng.Now()
+			now := sf.f.bind.Eng().Now()
 			sf.f.attrib.Attribute(span, sf.f.lastProgress, now)
 			sf.f.lastProgress = now
 		}
@@ -557,7 +569,7 @@ func (sf *subflow) onAck(p *sim.Packet) {
 		sf.backoff = 0
 		sf.consecRTOs = 0
 		if sf.timing && ackSeq > sf.timedSeq {
-			sf.sampleRTT(sf.f.net.Eng.Now() - sf.timedAt)
+			sf.sampleRTT(sf.f.bind.Eng().Now() - sf.timedAt)
 			sf.timing = false
 		}
 		if sf.inRecovery {
@@ -602,7 +614,7 @@ func (sf *subflow) onAck(p *sim.Packet) {
 			sf.trySend()
 		}
 	}
-	sf.f.net.FreeSpan(span)
+	sf.f.net.FreeSpanOn(span, sf.f.bind.Shard())
 }
 
 // repairHole retransmits the next lost packet. With SACK (the default),

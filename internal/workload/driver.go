@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"pnet/internal/core"
@@ -97,13 +98,14 @@ func NewDriver(t *topo.Topology, simCfg sim.Config, tcpCfg tcp.Config) *Driver {
 }
 
 // Shard switches the run onto the plane-sharded PDES engine with the
-// given plane-shard count and conservative lookahead (zero lookahead
-// selects the propagation delay, its provable maximum). shards ≤ 1 is a
-// no-op: the driver keeps the untouched serial engine. Call after
-// Instrument (so shard engines inherit the fingerprinter and recorder)
-// and before starting flows or timers. The run's output is byte-identical
-// either way; Shard only changes how fast it is produced.
-func (d *Driver) Shard(shards int, lookahead sim.Time) {
+// given plane-shard count, host sub-shard count (≤ 1 keeps the classic
+// single host shard), and conservative lookahead (zero lookahead selects
+// the propagation delay, its provable maximum). shards ≤ 1 is a no-op:
+// the driver keeps the untouched serial engine. Call after Instrument
+// (so shard engines inherit the fingerprinter and recorder) and before
+// starting flows or timers. The run's output is byte-identical either
+// way; Shard only changes how fast it is produced.
+func (d *Driver) Shard(shards, hostShards int, lookahead sim.Time) {
 	if shards <= 1 || d.runner != nil {
 		return
 	}
@@ -113,7 +115,7 @@ func (d *Driver) Shard(shards int, lookahead sim.Time) {
 	}
 	d.runner = pdes.New(d.Eng, d.Net, func(id graph.LinkID) bool {
 		return isHost[d.Net.G.Link(id).Src]
-	}, pdes.Config{Shards: shards, Lookahead: lookahead})
+	}, pdes.Config{Shards: shards, HostShards: hostShards, Lookahead: lookahead})
 }
 
 // Runner exposes the sharded-run statistics (nil on serial runs).
@@ -293,11 +295,15 @@ func (d *Driver) StartFlowOnPaths(paths []graph.Path, sizeBytes int64,
 		}
 	}
 	f.OnComplete = func(fl *tcp.Flow) {
-		d.Completed++
+		// Completion fires on the flow's host sub-shard, possibly inside
+		// a window concurrent with other sub-shards' completions — hence
+		// the atomic counter and the flow's own clock for the timestamp
+		// (identical to the engine clock on serial runs).
+		atomic.AddInt64(&d.Completed, 1)
 		if d.Obs != nil {
 			d.Obs.RecordFlow(obs.FlowRecord{
 				ID:          fl.ID,
-				TPs:         int64(d.Eng.Now()),
+				TPs:         int64(fl.Finished),
 				Transport:   "tcp",
 				Src:         int64(paths[0].Src(d.Net.G)),
 				Dst:         int64(paths[0].Dst(d.Net.G)),
@@ -349,9 +355,9 @@ func spanShares(totals []sim.SpanTotal) []obs.SpanShare {
 // fewer than want flows completed — the signal that a workload stalled.
 func (d *Driver) MustRunUntil(deadline sim.Time, want int64) error {
 	d.RunUntil(deadline)
-	if d.Completed < want {
+	if done := atomic.LoadInt64(&d.Completed); done < want {
 		return fmt.Errorf("workload: %d of %d flows completed by %v (drops=%d)",
-			d.Completed, want, deadline, d.Net.TotalDrops())
+			done, want, deadline, d.Net.TotalDrops())
 	}
 	return nil
 }

@@ -23,7 +23,7 @@ func runRPCAt(t *testing.T, shards int) []float64 {
 	set := topo.ScaledJellyfish(8, 2, 100, 3)
 	d := NewDriver(set.ParallelHomo, sim.Config{}, tcp.Config{})
 	if shards > 1 {
-		d.Shard(shards, 0)
+		d.Shard(shards, 2, 0)
 		defer d.Close()
 	}
 	samples, err := RunRPC(d, RPCConfig{
@@ -57,7 +57,7 @@ func TestShuffleShardedMatchesSerial(t *testing.T) {
 		set := topo.ScaledJellyfish(8, 2, 100, 3)
 		d := NewDriver(set.ParallelHomo, sim.Config{}, tcp.Config{})
 		if shards > 1 {
-			d.Shard(shards, 0)
+			d.Shard(shards, 2, 0)
 			defer d.Close()
 		}
 		times, err := RunShuffle(d, ShuffleConfig{
