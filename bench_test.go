@@ -396,6 +396,99 @@ func BenchmarkEndWindowMerge(b *testing.B) {
 	b.ReportMetric(float64(events)/float64(b.N), "events/window")
 }
 
+// BenchmarkPlacementPlan measures the LPT placement planner on a
+// full-scale-shaped input: 512 colocation groups over 1024 hosts packed
+// onto 8 sub-shards plus 8 planes onto 4 shards — the whole cost a
+// balanced or replayed placement adds to driver materialization. The
+// planner runs once per simulation, so allocs/op is gated but the bar is
+// per-plan, not zero.
+func BenchmarkPlacementPlan(b *testing.B) {
+	const hosts, groupsN, hostShards = 1024, 512, 8
+	groups := make([][]graph.NodeID, groupsN)
+	weights := make(map[graph.NodeID]int64, hosts)
+	for h := 0; h < hosts; h++ {
+		id := graph.NodeID(h)
+		g := h % groupsN
+		groups[g] = append(groups[g], id)
+		// Deterministic skew: a few heavy hosts, a long light tail.
+		weights[id] = int64(1 + (h%7)*(h%13))
+	}
+	planeWeights := map[int32]int64{0: 100, 1: 100, 2: 400, 3: 400, 4: 25, 5: 25, 6: 900, 7: 50}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.PlanHosts(groups, weights, nil, hostShards); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.PlanPlanes(planeWeights, nil, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// shardPingPongPlaced is shardPingPong with a skewed explicit placement:
+// pair i sends 1+i%4 packets, and the LPT plan from those weights packs
+// the heavy pairs apart. Exercises the placed bindShards path end to end.
+func shardPingPongPlaced(pairs, hostShards int) *sim.ShardSet {
+	sw := graph.NodeID(2 * pairs)
+	g := graph.New(2*pairs + 1)
+	up := make([]graph.LinkID, 2*pairs)
+	down := make([]graph.LinkID, 2*pairs)
+	for h := 0; h < 2*pairs; h++ {
+		g.SetTransit(graph.NodeID(h), false)
+		up[h], down[h] = g.AddDuplex(graph.NodeID(h), sw, 100, 0)
+	}
+	eng := sim.NewEngine()
+	net := sim.NewNetwork(eng, g, sim.Config{PropDelay: 500 * sim.Nanosecond})
+	groups := make([][]graph.NodeID, pairs)
+	weights := map[graph.NodeID]int64{}
+	for i := 0; i < pairs; i++ {
+		a, b := graph.NodeID(2*i), graph.NodeID(2*i+1)
+		groups[i] = []graph.NodeID{a, b}
+		weights[a], weights[b] = int64(1+i%4), int64(1+i%4)
+	}
+	hostMap, err := sim.PlanHosts(groups, weights, nil, hostShards)
+	if err != nil {
+		panic(err)
+	}
+	hostSide := func(id graph.LinkID) bool { return net.G.Link(id).Src != sw }
+	set := sim.NewShardSetPlaced(eng, net, 1, hostShards, 0, hostSide, &sim.Placement{Hosts: hostMap})
+	for i := 0; i < pairs; i++ {
+		a, b := 2*i, 2*i+1
+		pp := &pingPong{
+			net: net,
+			fwd: []graph.LinkID{up[a], down[b]},
+			rev: []graph.LinkID{up[b], down[a]},
+		}
+		for n := 0; n <= i%4; n++ {
+			p := net.NewPacket()
+			p.Size = 1500
+			p.Route = pp.fwd
+			p.Deliver = pp
+			net.Send(p)
+		}
+	}
+	return set
+}
+
+// BenchmarkShardWindowBalanced is BenchmarkShardWindow through an
+// explicit LPT placement over skewed per-pair traffic: same window
+// protocol, non-default host binding. The spread against
+// BenchmarkShardWindow is the dispatch cost of placed binding (none
+// expected — the bind map is resolved before the first window).
+// allocs/op must stay 0 once the pools are warm (gated).
+func BenchmarkShardWindowBalanced(b *testing.B) {
+	set := shardPingPongPlaced(8, 4)
+	runShardWindows(set, 4096) // warm pools, window logs, merge scratch
+	b.ReportAllocs()
+	b.ResetTimer()
+	fired := runShardWindows(set, b.N)
+	b.StopTimer()
+	if fired < b.N {
+		b.Fatalf("fired %d events, want >= %d", fired, b.N)
+	}
+}
+
 // --- Parallel execution benchmarks ---------------------------------------
 //
 // These measure the multicore sweep layer (internal/par): the same work

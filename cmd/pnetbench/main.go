@@ -48,8 +48,14 @@
 // boundary of a sharded run into N per-host sub-shards that fire inside
 // the same windows as the plane shards, cracking the serial host-shard
 // bottleneck; output stays byte-identical at any (shards, host-shards)
-// combination. See DESIGN.md "Plane-sharded PDES" and "Host
-// sub-sharding".
+// combination. -placement chooses how hosts and planes are packed onto
+// those shards: "rr" (the default round-robin), "balanced" (static LPT
+// bin-packing on workload weights), or a placement JSON written by
+// `pnetstat profile -emit-placement` replaying a profiled run's measured
+// occupancy as exact weights. Placement moves work between engines,
+// never the committed event order, so output stays byte-identical at
+// every placement. See DESIGN.md "Plane-sharded PDES", "Host
+// sub-sharding", and "Load-balanced shard placement".
 package main
 
 import (
@@ -69,8 +75,10 @@ import (
 	"pnet/internal/exp"
 	"pnet/internal/obs"
 	"pnet/internal/par"
+	"pnet/internal/pdes"
 	"pnet/internal/report"
 	"pnet/internal/sim"
+	"pnet/internal/workload"
 )
 
 func main() {
@@ -96,6 +104,7 @@ func main() {
 		shards  = flag.Int("shards", 1, "plane shards per packet simulation (1 = serial engine); results are identical at any count")
 		hShards = flag.Int("host-shards", 1, "host sub-shards per packet simulation (1 = single host shard); requires -shards > 1; results are identical at any count")
 		lookAhd = flag.Duration("lookahead", 0, "conservative PDES window span (0 = the host-ToR propagation delay); requires -shards > 1")
+		placeF  = flag.String("placement", "rr", "shard placement: rr | balanced | path to a placement JSON (pnetstat profile -emit-placement); non-rr requires -shards > 1; results are identical at every placement")
 	)
 	flag.Parse()
 
@@ -121,6 +130,11 @@ func main() {
 		os.Exit(2)
 	}
 	if err := validateShardFlags(*shards, *hShards, *lookAhd, lookAhdSet, *trace); err != nil {
+		fmt.Fprintf(os.Stderr, "pnetbench: %v\n", err)
+		os.Exit(2)
+	}
+	place, err := buildPlacement(*placeF, *shards)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "pnetbench: %v\n", err)
 		os.Exit(2)
 	}
@@ -163,6 +177,7 @@ func main() {
 		Shards:     *shards,
 		HostShards: *hShards,
 		Lookahead:  sim.Time(lookAhd.Nanoseconds()) * sim.Nanosecond,
+		Placement:  place,
 	}
 	switch *scale {
 	case "small":
@@ -308,6 +323,12 @@ func main() {
 		if *hShards > 1 {
 			hostShardsMeta = *hShards
 		}
+		// Omitted ("") for the default round-robin so reports stay
+		// byte-compatible with placement-unaware baselines.
+		placementMeta := ""
+		if *placeF != "" && *placeF != "rr" {
+			placementMeta = *placeF
+		}
 		summary := aggr.Summarize(collector, report.Meta{
 			Exp:         *expID,
 			Scale:       params.Scale.String(),
@@ -318,6 +339,7 @@ func main() {
 			Shards:      shardsMeta,
 			HostShards:  hostShardsMeta,
 			LookaheadPs: int64(params.Lookahead),
+			Placement:   placementMeta,
 		})
 		if summary.Profile != nil {
 			// Stamp the run's actual pool occupancy into the profile so
@@ -400,6 +422,31 @@ func validateShardFlags(shards, hostShards int, lookahead time.Duration, lookahe
 		return fmt.Errorf("-trace is not supported with -shards > 1: packet events would interleave nondeterministically in the stream")
 	}
 	return nil
+}
+
+// buildPlacement resolves the -placement flag. "rr" (or "") is the
+// default round-robin and needs no sharding; "balanced" turns on the
+// static LPT planner; anything else is read as a path to a placement
+// JSON written by `pnetstat profile -emit-placement` and strictly
+// validated up front, so a bad file fails the run before any simulation
+// starts rather than mid-experiment. Non-default placements only mean
+// anything inside a sharded run, so they require -shards > 1.
+func buildPlacement(placement string, shards int) (workload.Placement, error) {
+	switch placement {
+	case "", workload.PlaceRR:
+		return workload.Placement{}, nil
+	}
+	if shards <= 1 {
+		return workload.Placement{}, fmt.Errorf("-placement %s requires -shards > 1", placement)
+	}
+	if placement == workload.PlaceBalanced {
+		return workload.Placement{Mode: workload.PlaceBalanced}, nil
+	}
+	pf, err := pdes.LoadPlacementFile(placement)
+	if err != nil {
+		return workload.Placement{}, err
+	}
+	return workload.Placement{Mode: workload.PlaceFile, File: pf, Path: placement}, nil
 }
 
 // parseFlowIDs parses the -trace-flow comma list.

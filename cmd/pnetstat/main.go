@@ -7,7 +7,7 @@
 //
 //	pnetstat summary [-json] [-o out.json] [-gobench bench.txt] <run>
 //	pnetstat attribution [-json] <run>
-//	pnetstat profile [-json] [-min-bound X] [-serial base.json [-min-speedup X]] <run>
+//	pnetstat profile [-json] [-min-bound X] [-emit-placement p.json] [-serial base.json [-min-speedup X]] <run>
 //	pnetstat fingerprint [-json] <run>
 //	pnetstat divergence [-k 5] [-events-base j.jsonl] [-events-cur j.jsonl] <base> <cur>
 //	pnetstat export-trace [-o trace.json] <metrics.jsonl>
@@ -32,6 +32,7 @@ import (
 	"os"
 	"time"
 
+	"pnet/internal/pdes"
 	"pnet/internal/report"
 )
 
@@ -51,11 +52,14 @@ commands:
       went (queueing, serialization, propagation, RTO stalls, repath
       gaps, host waits) per plane, overall and for the p99.9 tail;
       needs a run recorded with pnetbench -spans
-  profile [-json] [-min-bound X] [-serial base.json [-min-speedup X]] <run>
+  profile [-json] [-min-bound X] [-emit-placement p.json] [-serial base.json [-min-speedup X]] <run>
       print the event-loop profile: per-(kind, plane) event counts and
       wall time, host-boundary fraction (with the per-sub-shard split
-      when the run used -host-shards), and the predicted PDES speedup
-      bounds for per-plane event queues; needs pnetbench -spans.
+      when the run used -host-shards), shard occupancy imbalance, and
+      the predicted PDES speedup bounds for per-plane event queues;
+      needs pnetbench -spans. -emit-placement exports the measured
+      per-host / per-plane occupancy as a placement JSON that
+      pnetbench -placement replays as exact planner weights.
       -min-bound exits 1 when the predicted critical-path event bound
       falls short; -serial compares a serial baseline's engine wall time
       against this (sharded) run's and prints the ACHIEVED speedup next
@@ -233,8 +237,9 @@ func runProfile(args []string, stdout, stderr io.Writer) int {
 	serial := fs.String("serial", "", "serial baseline run: print the sharded run's ACHIEVED speedup (baseline run_wall_s / this run's) next to the predicted bounds")
 	minSpeedup := fs.Float64("min-speedup", 0, "exit 1 if the achieved speedup falls below this (requires -serial)")
 	minBound := fs.Float64("min-bound", 0, "exit 1 if the predicted critical-path event bound falls below this")
+	emit := fs.String("emit-placement", "", "export the measured per-host / per-plane occupancy as a placement JSON for pnetbench -placement")
 	if fs.Parse(args) != nil || fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: pnetstat profile [-json] [-min-bound X] [-serial base.json [-min-speedup X]] <run>")
+		fmt.Fprintln(stderr, "usage: pnetstat profile [-json] [-min-bound X] [-emit-placement p.json] [-serial base.json [-min-speedup X]] <run>")
 		return 2
 	}
 	if *minSpeedup > 0 && *serial == "" {
@@ -244,6 +249,11 @@ func runProfile(args []string, stdout, stderr io.Writer) int {
 	s, ok := loadRun(fs.Arg(0), "", stderr)
 	if !ok {
 		return 2
+	}
+	if *emit != "" {
+		if code := emitPlacement(*emit, s, stdout, stderr); code != 0 {
+			return code
+		}
 	}
 	if *asJSON {
 		b, _ := json.MarshalIndent(s.Profile, "", "  ")
@@ -297,6 +307,35 @@ func runProfile(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "pnetstat: achieved speedup %.2fx below required %.2fx\n", achieved, *minSpeedup)
 		return 1
 	}
+	return 0
+}
+
+// emitPlacement exports a profiled run's measured occupancy as a
+// placement file: host weights from the per-host delivery counts, plane
+// weights from the per-plane event counts, and the run's partition
+// widths as headers so a replay at different widths fails loudly instead
+// of silently reusing splits measured for another partitioning.
+func emitPlacement(path string, s report.RunSummary, stdout, stderr io.Writer) int {
+	if s.Profile == nil || len(s.Profile.HostLoads) == 0 {
+		fmt.Fprintln(stderr, "pnetstat: -emit-placement needs a run with measured host loads — rerun pnetbench with -spans (host loads are only recorded by profiled runs of this repo version)")
+		return 2
+	}
+	pf := &pdes.PlacementFile{
+		Version:    pdes.PlacementVersion,
+		HostShards: s.HostShards,
+		Shards:     s.Shards,
+	}
+	for _, h := range s.Profile.HostLoads {
+		pf.Hosts = append(pf.Hosts, pdes.HostWeight{Host: h.Host, Weight: h.Events})
+	}
+	for _, p := range s.Profile.Planes {
+		pf.Planes = append(pf.Planes, pdes.PlaneWeight{Plane: p.Plane, Weight: p.Events})
+	}
+	if err := pdes.WritePlacementFile(path, pf); err != nil {
+		fmt.Fprintf(stderr, "pnetstat: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d hosts, %d planes)\n", path, len(pf.Hosts), len(pf.Planes))
 	return 0
 }
 

@@ -79,6 +79,10 @@ type Params struct {
 	// sub-shards (see sim.NewShardSet). Results stay bit-identical.
 	HostShards int
 	Lookahead  sim.Time
+	// Placement selects how sharded simulations partition hosts and
+	// planes (see workload.Placement; zero value = round-robin). Results
+	// stay bit-identical at every placement.
+	Placement workload.Placement
 }
 
 // cells fans an experiment's n independent cells out across p.Workers
@@ -97,7 +101,7 @@ func (p Params) newDriver(tp *topo.Topology, simCfg sim.Config, tcpCfg tcp.Confi
 	}
 	// After Instrument, so shard engines inherit the fingerprinter and
 	// flight recorder; before any flow or timer exists.
-	d.Shard(p.Shards, p.HostShards, p.Lookahead)
+	d.ShardPlaced(p.Shards, p.HostShards, p.Lookahead, p.Placement)
 	return d
 }
 

@@ -1,0 +1,7 @@
+//go:build !race
+
+package exp
+
+// raceEnabled mirrors the race build tag so heavyweight matrix tests can
+// shrink themselves under the ~10-20x race-detector slowdown.
+const raceEnabled = false

@@ -331,10 +331,17 @@ func companionFig7(p Params) {
 	// The driver is deliberately not Instrumented (see above), so shard
 	// after the profile attach and time the run by hand: run_wall_s is a
 	// wall-clock field, free to record without touching gated metrics.
-	d.Shard(p.Shards, p.HostShards, p.Lookahead)
+	d.ShardPlaced(p.Shards, p.HostShards, p.Lookahead, p.Placement)
 	defer d.Close()
 	rng := rand.New(rand.NewSource(p.Seed))
-	cs := workload.PermutationCommodities(tp, 1, rng)
+	// A matching, not a uniform derangement: each flow colocates its two
+	// endpoints onto one host sub-shard, so a derangement's giant
+	// permutation cycle (~2/3 of the hosts in one colocation group here)
+	// would pin most of the host boundary to a single sub-shard no matter
+	// the placement. Pairs keep every colocation group at two hosts —
+	// load the sub-shard split and the placement planner can actually
+	// move.
+	cs := workload.MatchingCommodities(tp, 1, rng)
 	sel := workload.Selection{Policy: workload.KSP, K: 4}
 	for _, c := range cs {
 		if _, err := d.StartFlow(c.Src, c.Dst, 1_000_000, sel, nil, nil); err != nil {

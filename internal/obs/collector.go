@@ -103,15 +103,24 @@ type FingerprintSnapshot struct {
 	Checkpoints []sim.FingerprintCheckpoint
 }
 
-// profileEntry pairs a flight recorder with its engine's conservative
-// PDES lookahead (the network's propagation delay). Recorder IDs are a
+// profileEntry pairs a flight recorder with its engine, its network
+// (for the per-host delivery counts), and the engine's conservative PDES
+// lookahead (the network's propagation delay). Recorder IDs are a
 // sequence of their own, independent of network attach order, so
 // profile-only attachments never shift the NetIDs of the metrics
 // stream.
 type profileEntry struct {
 	rec       *sim.FlightRecorder
 	eng       *sim.Engine
+	net       *sim.Network
 	lookahead sim.Time
+}
+
+// HostOccupancy is one host's measured event load within a profile
+// snapshot: the packets delivered to it over the profiled run.
+type HostOccupancy struct {
+	Host   int64
+	Events int64
 }
 
 // ProfileSnapshot is one engine's flight-recorder state: the non-empty
@@ -119,13 +128,18 @@ type profileEntry struct {
 // sim time it had reached when snapshotted (the profiled duration).
 // SubShards, present only when the engine ran host-sub-sharded
 // (host-shards > 1), is the events fired per host sub-shard — the
-// occupancy split the sub-shard speedup predictors need.
+// occupancy split the sub-shard speedup predictors need. PlaneShards is
+// the analogous per-plane-shard split (present when plane shards > 1).
+// Hosts is the per-host delivery count in host-ID order, covering every
+// bound host (zeros included) so `-emit-placement` files are complete.
 type ProfileSnapshot struct {
-	NetID     int
-	Lookahead sim.Time
-	SimTime   sim.Time
-	Bins      []sim.ProfileBin
-	SubShards []int64
+	NetID       int
+	Lookahead   sim.Time
+	SimTime     sim.Time
+	Bins        []sim.ProfileBin
+	SubShards   []int64
+	PlaneShards []int64
+	Hosts       []HostOccupancy
 }
 
 // NewCollector returns a collector with a fresh registry and no streams.
@@ -243,10 +257,39 @@ func (c *Collector) AttachProfile(eng *sim.Engine, net *sim.Network) *sim.Flight
 	}
 	rec := sim.NewFlightRecorder()
 	eng.Recorder = rec
+	// Count final-hop delivers per destination while profiling — the
+	// measured host weights `-emit-placement` exports. Counting changes no
+	// event order, so the run's deterministic output is still untouched.
+	net.EnableHostLoad()
 	c.mu.Lock()
-	c.profiles = append(c.profiles, profileEntry{rec: rec, eng: eng, lookahead: net.PropDelay()})
+	c.profiles = append(c.profiles, profileEntry{rec: rec, eng: eng, net: net, lookahead: net.PropDelay()})
 	c.mu.Unlock()
 	return rec
+}
+
+// hostOccupancies renders a network's per-host delivery counts: every
+// bound host in node-ID order (zeros included, so exported placement
+// files are complete), or — on serial runs with no host binds — just the
+// nodes that received anything.
+func hostOccupancies(net *sim.Network) []HostOccupancy {
+	loads := net.HostLoads()
+	if loads == nil {
+		return nil
+	}
+	if bound := net.BoundHosts(); len(bound) > 0 {
+		out := make([]HostOccupancy, 0, len(bound))
+		for _, h := range bound {
+			out = append(out, HostOccupancy{Host: int64(h), Events: loads[h]})
+		}
+		return out
+	}
+	var out []HostOccupancy
+	for id, ev := range loads {
+		if ev > 0 {
+			out = append(out, HostOccupancy{Host: int64(id), Events: ev})
+		}
+	}
+	return out
 }
 
 // Profiles snapshots every attached flight recorder, in attach order.
@@ -261,7 +304,8 @@ func (c *Collector) Profiles() []ProfileSnapshot {
 	for i, e := range c.profiles {
 		out = append(out, ProfileSnapshot{
 			NetID: i, Lookahead: e.lookahead, SimTime: e.eng.Now(), Bins: e.rec.Snapshot(),
-			SubShards: e.eng.SubShardEvents(),
+			SubShards: e.eng.SubShardEvents(), PlaneShards: e.eng.PlaneShardEvents(),
+			Hosts: hostOccupancies(e.net),
 		})
 	}
 	return out
@@ -483,6 +527,24 @@ func (c *Collector) Close() error {
 				c.mw.write(ProfileRecord{
 					Type: KindProfile, Net: snap.NetID, Kind: KindSubShard,
 					Plane: int32(i), Events: ev,
+					LookaheadPs: int64(snap.Lookahead), SimPs: int64(snap.SimTime),
+				})
+			}
+			// ... and the per-plane-shard split: Kind "planeshard" with
+			// Plane = plane-shard index.
+			for i, ev := range snap.PlaneShards {
+				c.mw.write(ProfileRecord{
+					Type: KindProfile, Net: snap.NetID, Kind: KindPlaneShard,
+					Plane: int32(i), Events: ev,
+					LookaheadPs: int64(snap.Lookahead), SimPs: int64(snap.SimTime),
+				})
+			}
+			// Per-host delivery counts: Kind "hostload" with Plane = host
+			// node ID — the measured weights `-emit-placement` replays.
+			for _, h := range snap.Hosts {
+				c.mw.write(ProfileRecord{
+					Type: KindProfile, Net: snap.NetID, Kind: KindHostLoad,
+					Plane: int32(h.Host), Events: h.Events,
 					LookaheadPs: int64(snap.Lookahead), SimPs: int64(snap.SimTime),
 				})
 			}

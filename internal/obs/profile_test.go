@@ -115,8 +115,13 @@ func TestProfileRecordsOnClose(t *testing.T) {
 	if len(profiles) == 0 {
 		t.Fatal("no profile records in the metrics stream")
 	}
-	var events int64
+	var events, hostLoads int64
 	for _, rec := range profiles {
+		if rec.Kind == KindHostLoad {
+			// Pseudo kind: per-host delivery counts (Plane = host node ID).
+			hostLoads += rec.Events
+			continue
+		}
 		if !ValidEventKind(rec.Kind) {
 			t.Errorf("invalid event kind %q", rec.Kind)
 		}
@@ -130,6 +135,9 @@ func TestProfileRecordsOnClose(t *testing.T) {
 	}
 	if events == 0 {
 		t.Error("profile records carry no events")
+	}
+	if hostLoads == 0 {
+		t.Error("no hostload records: delivered packets should be counted per host")
 	}
 }
 

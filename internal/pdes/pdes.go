@@ -43,6 +43,11 @@ type Config struct {
 	// the network's propagation delay, the provable maximum) selects the
 	// propagation delay.
 	Lookahead sim.Time
+	// Placement, when non-nil, overrides the default round-robin host
+	// binding and plane-mod-shards assignment with an explicit partition
+	// (see sim.Placement). Placement changes only which engine fires an
+	// event, never the committed order, so output stays byte-identical.
+	Placement *sim.Placement
 }
 
 // Stats counts what the window protocol did — the raw material for
@@ -78,7 +83,7 @@ func New(eng *sim.Engine, net *sim.Network, hostSide func(graph.LinkID) bool, cf
 	if hostShards < 1 {
 		hostShards = 1
 	}
-	set := sim.NewShardSet(eng, net, cfg.Shards, hostShards, cfg.Lookahead, hostSide)
+	set := sim.NewShardSetPlaced(eng, net, cfg.Shards, hostShards, cfg.Lookahead, hostSide, cfg.Placement)
 	r := &Runner{set: set, gang: par.NewGang(set.Engines())}
 	// Lend the gang to the barrier so large windows commit their child
 	// renumbering and outbox routing in parallel (see sim.ShardSet).

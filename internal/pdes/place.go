@@ -1,0 +1,187 @@
+package pdes
+
+// Profile-guided placement replay: `pnetstat profile -emit-placement`
+// exports the measured per-host and per-plane occupancy of a profiled run
+// as a placement file, and `pnetbench -placement file.json` replays those
+// counts as exact weights for the LPT planner (sim.PlanHosts/PlanPlanes) —
+// the two-run "measure, then rebalance" loop of DESIGN.md §13. The file
+// is validated strictly at load time; every violation is a one-line
+// *PlacementError naming the problem and how to fix it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// PlacementVersion is the placement file schema version this build reads
+// and writes.
+const PlacementVersion = 1
+
+// PlacementFile is the JSON shape of a placement file. Weights are
+// measured (or expected) event counts; the planner packs by weight. An
+// entry's optional Shard pins it to a specific sub-shard / plane shard,
+// in which case the HostShards / Shards headers must say which partition
+// width the pin is valid for.
+type PlacementFile struct {
+	Version int `json:"version"`
+	// HostShards / Shards record the partition widths the file was
+	// generated for (0 = unspecified). When set, a replaying run must use
+	// the same widths — pins and measured splits are meaningless across
+	// different partitionings.
+	HostShards int           `json:"host_shards,omitempty"`
+	Shards     int           `json:"shards,omitempty"`
+	Hosts      []HostWeight  `json:"hosts"`
+	Planes     []PlaneWeight `json:"planes,omitempty"`
+}
+
+// HostWeight is one host's measured load; Shard (optional) pins it.
+type HostWeight struct {
+	Host   int64 `json:"host"`
+	Weight int64 `json:"weight"`
+	Shard  *int  `json:"shard,omitempty"`
+}
+
+// PlaneWeight is one dataplane's measured load; Shard (optional) pins it.
+type PlaneWeight struct {
+	Plane  int32 `json:"plane"`
+	Weight int64 `json:"weight"`
+	Shard  *int  `json:"shard,omitempty"`
+}
+
+// PlacementError is a placement file's validation failure: what is wrong
+// and how to remedy it, rendered on one line.
+type PlacementError struct {
+	Path   string
+	Detail string
+	Remedy string
+}
+
+func (e *PlacementError) Error() string {
+	s := fmt.Sprintf("placement file %s: %s", e.Path, e.Detail)
+	if e.Remedy != "" {
+		s += " (" + e.Remedy + ")"
+	}
+	return s
+}
+
+const regenRemedy = "regenerate with `pnetstat profile -emit-placement` from a profiled run"
+
+// LoadPlacementFile reads and strictly validates a placement file. Every
+// failure is a *PlacementError.
+func LoadPlacementFile(path string) (*PlacementFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, &PlacementError{Path: path, Detail: err.Error(), Remedy: regenRemedy}
+	}
+	return ParsePlacementFile(path, data)
+}
+
+// ParsePlacementFile decodes and strictly validates placement file bytes;
+// path only labels errors. Every failure is a *PlacementError.
+func ParsePlacementFile(path string, data []byte) (*PlacementFile, error) {
+	var f PlacementFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, &PlacementError{Path: path, Detail: "not valid JSON: " + err.Error(), Remedy: regenRemedy}
+	}
+	if err := f.validate(path); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// validate applies the strict schema checks.
+func (f *PlacementFile) validate(path string) error {
+	fail := func(detail, remedy string) error {
+		return &PlacementError{Path: path, Detail: detail, Remedy: remedy}
+	}
+	if f.Version != PlacementVersion {
+		return fail(fmt.Sprintf("unsupported version %d, this build reads version %d", f.Version, PlacementVersion), regenRemedy)
+	}
+	if f.HostShards < 0 || f.Shards < 0 {
+		return fail(fmt.Sprintf("negative partition width host_shards=%d shards=%d", f.HostShards, f.Shards), regenRemedy)
+	}
+	if len(f.Hosts) == 0 {
+		return fail("no host entries", regenRemedy)
+	}
+	seenHost := make(map[int64]bool, len(f.Hosts))
+	for _, h := range f.Hosts {
+		if seenHost[h.Host] {
+			return fail(fmt.Sprintf("host %d assigned twice", h.Host), "remove the duplicate entry")
+		}
+		seenHost[h.Host] = true
+		if h.Weight < 0 {
+			return fail(fmt.Sprintf("host %d has negative weight %d", h.Host, h.Weight), regenRemedy)
+		}
+		if h.Shard != nil {
+			if f.HostShards <= 0 {
+				return fail(fmt.Sprintf("host %d pins sub-shard %d but the host_shards header is unset", h.Host, *h.Shard),
+					"set host_shards to the partition width the pin targets")
+			}
+			if *h.Shard < 0 || *h.Shard >= f.HostShards {
+				return fail(fmt.Sprintf("host %d pinned to sub-shard %d, outside [0,%d)", h.Host, *h.Shard, f.HostShards),
+					"fix the shard field or the host_shards header")
+			}
+		}
+	}
+	seenPlane := make(map[int32]bool, len(f.Planes))
+	for _, p := range f.Planes {
+		if seenPlane[p.Plane] {
+			return fail(fmt.Sprintf("plane %d assigned twice", p.Plane), "remove the duplicate entry")
+		}
+		seenPlane[p.Plane] = true
+		if p.Weight < 0 {
+			return fail(fmt.Sprintf("plane %d has negative weight %d", p.Plane, p.Weight), regenRemedy)
+		}
+		if p.Shard != nil {
+			if f.Shards <= 0 {
+				return fail(fmt.Sprintf("plane %d pins shard %d but the shards header is unset", p.Plane, *p.Shard),
+					"set shards to the partition width the pin targets")
+			}
+			if *p.Shard < 0 || *p.Shard >= f.Shards {
+				return fail(fmt.Sprintf("plane %d pinned to shard %d, outside [0,%d)", p.Plane, *p.Shard, f.Shards),
+					"fix the shard field or the shards header")
+			}
+		}
+	}
+	return nil
+}
+
+// HostWeights returns the file's host weight and pin maps, keyed by host
+// node ID.
+func (f *PlacementFile) HostWeights() (weights map[int64]int64, pins map[int64]int) {
+	weights = make(map[int64]int64, len(f.Hosts))
+	pins = map[int64]int{}
+	for _, h := range f.Hosts {
+		weights[h.Host] = h.Weight
+		if h.Shard != nil {
+			pins[h.Host] = *h.Shard
+		}
+	}
+	return weights, pins
+}
+
+// PlaneWeights returns the file's plane weight and pin maps.
+func (f *PlacementFile) PlaneWeights() (weights map[int32]int64, pins map[int32]int) {
+	weights = make(map[int32]int64, len(f.Planes))
+	pins = map[int32]int{}
+	for _, p := range f.Planes {
+		weights[p.Plane] = p.Weight
+		if p.Shard != nil {
+			pins[p.Plane] = *p.Shard
+		}
+	}
+	return weights, pins
+}
+
+// WritePlacementFile marshals f (indented, trailing newline) to path.
+func WritePlacementFile(path string, f *PlacementFile) error {
+	if err := f.validate(path); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

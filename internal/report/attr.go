@@ -96,6 +96,22 @@ type ProfileSummary struct {
 	SubShards  []int64 `json:"sub_shards,omitempty"`
 	HostShards int     `json:"host_shards,omitempty"`
 
+	// PlaneShards is the events fired per plane shard (index = plane
+	// shard), present only when the profiled engine ran with more than
+	// one plane shard.
+	PlaneShards []int64 `json:"plane_shards,omitempty"`
+
+	// SubShardImbalance and PlaneShardImbalance are the max/mean
+	// occupancy ratios of the corresponding splits (1.0 = perfectly
+	// balanced) — the load-balance verdict placement planning targets.
+	// Present only when the split has more than one member with work.
+	SubShardImbalance   float64 `json:"sub_shard_imbalance,omitempty"`
+	PlaneShardImbalance float64 `json:"plane_shard_imbalance,omitempty"`
+
+	// HostLoads is the per-host delivery count in host-ID order — the
+	// measured weights `pnetstat profile -emit-placement` exports.
+	HostLoads []HostLoad `json:"host_loads,omitempty"`
+
 	// HostEvents counts deliver + timer events — the work that executes
 	// host-side code and serializes a per-plane partition.
 	HostEvents  int64   `json:"host_events"`
@@ -124,6 +140,31 @@ type ProfileSummary struct {
 	PoolLimit int   `json:"pool_limit,omitempty"`
 	PoolPeak  int   `json:"pool_peak,omitempty"`
 	PoolTasks int64 `json:"pool_tasks,omitempty"`
+}
+
+// HostLoad is one host's measured delivery count within a profile.
+type HostLoad struct {
+	Host   int64 `json:"host"`
+	Events int64 `json:"events"`
+}
+
+// maxMean returns the max/mean ratio of a split, or 0 when the split has
+// fewer than two members or no work at all.
+func maxMean(xs []int64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	var sum, max int64
+	for _, x := range xs {
+		sum += x
+		if x > max {
+			max = x
+		}
+	}
+	if sum <= 0 {
+		return 0
+	}
+	return float64(max) / (float64(sum) / float64(len(xs)))
 }
 
 // spanFlow retains one flow's spans for tail re-aggregation.
@@ -273,6 +314,22 @@ func (a *agg) profileSummary() *ProfileSummary {
 	if len(a.profSub) > 1 {
 		s.SubShards = append([]int64(nil), a.profSub...)
 		s.HostShards = len(a.profSub)
+		s.SubShardImbalance = maxMean(s.SubShards)
+	}
+	if len(a.profPlaneShards) > 1 {
+		s.PlaneShards = append([]int64(nil), a.profPlaneShards...)
+		s.PlaneShardImbalance = maxMean(s.PlaneShards)
+	}
+	if len(a.profHosts) > 0 {
+		hosts := make([]int64, 0, len(a.profHosts))
+		for h := range a.profHosts {
+			hosts = append(hosts, h)
+		}
+		sort.Slice(hosts, func(i, j int) bool { return hosts[i] < hosts[j] })
+		s.HostLoads = make([]HostLoad, 0, len(hosts))
+		for _, h := range hosts {
+			s.HostLoads = append(s.HostLoads, HostLoad{Host: h, Events: a.profHosts[h]})
+		}
 	}
 
 	if n := len(planes); n > 0 && s.Events > 0 {
@@ -366,6 +423,18 @@ func (s RunSummary) ProfileString() string {
 	}
 	for i, ev := range p.SubShards {
 		fmt.Fprintf(&b, "host sub-shard %d: %d events\n", i, ev)
+	}
+	if p.SubShardImbalance > 0 {
+		fmt.Fprintf(&b, "host sub-shard imbalance: max/mean %.2f\n", p.SubShardImbalance)
+	}
+	for i, ev := range p.PlaneShards {
+		fmt.Fprintf(&b, "plane shard %d: %d events\n", i, ev)
+	}
+	if p.PlaneShardImbalance > 0 {
+		fmt.Fprintf(&b, "plane shard imbalance: max/mean %.2f\n", p.PlaneShardImbalance)
+	}
+	if len(p.HostLoads) > 0 {
+		fmt.Fprintf(&b, "host loads: %d hosts measured (-emit-placement exports them)\n", len(p.HostLoads))
 	}
 	fmt.Fprintf(&b, "host boundary: %d events (%.2f%% of all), %.3fs wall",
 		p.HostEvents, p.HostFrac*100, p.HostWallSec)

@@ -130,6 +130,10 @@ type RunSummary struct {
 	Shards      int   `json:"shards,omitempty"`
 	HostShards  int   `json:"host_shards,omitempty"`
 	LookaheadPs int64 `json:"lookahead_ps,omitempty"`
+	// Placement records the shard placement mode (pnetbench -placement;
+	// "" = the default round-robin). Like Shards, it changes only wall
+	// clock, never a gated metric.
+	Placement string `json:"placement,omitempty"`
 
 	Flows       int64   `json:"flows"`
 	FlowBytes   int64   `json:"flow_bytes"`
@@ -182,6 +186,8 @@ type Meta struct {
 	Shards      int
 	HostShards  int
 	LookaheadPs int64
+	// Placement names the shard placement mode ("" = round-robin).
+	Placement string
 }
 
 // agg accumulates telemetry into a RunSummary; both construction paths
@@ -221,8 +227,12 @@ type agg struct {
 	profNets    map[int]bool
 	// profSub is events fired per host sub-shard (index = sub-shard),
 	// summed index-wise across host-sub-sharded engines. Empty unless some
-	// profiled engine ran with host-shards > 1.
-	profSub []int64
+	// profiled engine ran with host-shards > 1. profPlaneShards is the
+	// analogous per-plane-shard split; profHosts the per-host delivery
+	// counts (keyed by host node ID) behind `-emit-placement`.
+	profSub         []int64
+	profPlaneShards []int64
+	profHosts       map[int64]int64
 
 	// Determinism fingerprints: XOR folds of each engine's final chains
 	// (commutative, so worker count cannot change them). The stream path
@@ -244,6 +254,7 @@ func newAgg() *agg {
 		spanPs:     map[[2]int64]int64{},
 		profBins:   map[[2]int64][2]int64{},
 		profNets:   map[int]bool{},
+		profHosts:  map[int64]int64{},
 		fpLast:     map[int]obs.FingerprintRecord{},
 	}
 }
@@ -325,28 +336,27 @@ func (a *agg) addFlow(f obs.FlowRecord) {
 
 // addProfileRecord folds one JSONL profile bin (the stream path).
 func (a *agg) addProfileRecord(r obs.ProfileRecord) {
-	if r.Kind == obs.KindSubShard {
+	switch r.Kind {
+	case obs.KindSubShard:
 		// Pseudo kind: Plane is the sub-shard index, Events its fired count.
 		a.addSubShard(int(r.Plane), r.Events)
-		if !a.profNets[r.Net] {
-			a.profNets[r.Net] = true
-			a.profEngines++
-			a.profSimPs += r.SimPs
+	case obs.KindPlaneShard:
+		// Pseudo kind: Plane is the plane-shard index.
+		a.addPlaneShard(int(r.Plane), r.Events)
+	case obs.KindHostLoad:
+		// Pseudo kind: Plane is the host node ID, Events its delivers.
+		a.profHosts[int64(r.Plane)] += r.Events
+	default:
+		ki, ok := sim.ParseEventKind(r.Kind)
+		if !ok {
+			return // the reader rejects these; defensive for direct callers
 		}
-		if r.LookaheadPs > a.profLookPs {
-			a.profLookPs = r.LookaheadPs
-		}
-		return
+		k := [2]int64{int64(ki), int64(r.Plane)}
+		b := a.profBins[k]
+		b[0] += r.Events
+		b[1] += r.WallNano
+		a.profBins[k] = b
 	}
-	ki, ok := sim.ParseEventKind(r.Kind)
-	if !ok {
-		return // the reader rejects these; defensive for direct callers
-	}
-	k := [2]int64{int64(ki), int64(r.Plane)}
-	b := a.profBins[k]
-	b[0] += r.Events
-	b[1] += r.WallNano
-	a.profBins[k] = b
 	if !a.profNets[r.Net] {
 		a.profNets[r.Net] = true
 		a.profEngines++
@@ -375,6 +385,12 @@ func (a *agg) addProfileSnapshot(snap obs.ProfileSnapshot) {
 	for i, ev := range snap.SubShards {
 		a.addSubShard(i, ev)
 	}
+	for i, ev := range snap.PlaneShards {
+		a.addPlaneShard(i, ev)
+	}
+	for _, h := range snap.Hosts {
+		a.profHosts[h.Host] += h.Events
+	}
 }
 
 // addSubShard folds one host sub-shard's fired-event count, growing the
@@ -384,6 +400,14 @@ func (a *agg) addSubShard(idx int, events int64) {
 		a.profSub = append(a.profSub, 0)
 	}
 	a.profSub[idx] += events
+}
+
+// addPlaneShard folds one plane shard's fired-event count.
+func (a *agg) addPlaneShard(idx int, events int64) {
+	for idx >= len(a.profPlaneShards) {
+		a.profPlaneShards = append(a.profPlaneShards, 0)
+	}
+	a.profPlaneShards[idx] += events
 }
 
 func (a *agg) addSolver(r obs.SolverRecord) {
@@ -433,6 +457,7 @@ func (a *agg) summary(m Meta) RunSummary {
 		Shards:        m.Shards,
 		HostShards:    m.HostShards,
 		LookaheadPs:   m.LookaheadPs,
+		Placement:     m.Placement,
 		Flows:         int64(len(a.fcts)),
 		FlowBytes:     a.bytes,
 		Retransmits:   a.retrans,

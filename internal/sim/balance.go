@@ -1,0 +1,173 @@
+package sim
+
+// Deterministic load-balanced shard placement (DESIGN.md §13): instead of
+// round-robining hosts over sub-shards and mapping plane p to shard p mod
+// N, a Placement assigns each colocation group and each dataplane to the
+// shard that balances *weight* — expected or measured event load. The
+// planner here is classic LPT (longest processing time first) greedy
+// bin-packing with fully deterministic tie-breaking, so a fixed input
+// always yields one placement: items are packed heaviest first (ties by
+// lowest host/plane ID), each onto the lightest bin (ties by fewest items,
+// then lowest bin index). With all-equal weights the count tie-break makes
+// LPT degenerate to exactly the round-robin the default binding uses.
+//
+// Placement is pure: it decides which engine owns which host or plane,
+// never the committed event order, so the window protocol's output stays
+// byte-identical to serial under every placement (see shard.go).
+
+import (
+	"fmt"
+	"sort"
+
+	"pnet/internal/graph"
+)
+
+// Placement overrides the default host and plane shard assignment of a
+// ShardSet. Hosts maps each host to its sub-shard in [0, hostShards);
+// Planes maps each dataplane to its plane shard in [0, shards). Entries
+// absent from a map keep the default (round-robin / plane mod shards)
+// assignment. Every member of a colocation group must land on one
+// sub-shard — the planners below guarantee that by assigning per group,
+// and NewShardSetPlaced checks it.
+type Placement struct {
+	Hosts  map[graph.NodeID]int
+	Planes map[int32]int
+}
+
+// lptItem is one unit of placeable work: a colocation group or a plane.
+type lptItem struct {
+	weight int64
+	key    int64 // ascending tie-break: lowest member host ID, or plane ID
+	pin    int   // forced bin, -1 when free
+}
+
+// lptPack assigns items to bins by LPT: heaviest first (ties by lowest
+// key), each onto the lightest bin (ties by fewest items, then lowest bin
+// index). Pinned items charge their bin but do not move. The count
+// tie-break makes equal-weight inputs degenerate to round-robin in key
+// order. Returns the bin of each item, parallel to items.
+func lptPack(items []lptItem, bins int) []int {
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := items[order[i]], items[order[j]]
+		if a.weight != b.weight {
+			return a.weight > b.weight
+		}
+		return a.key < b.key
+	})
+	load := make([]int64, bins)
+	count := make([]int, bins)
+	out := make([]int, len(items))
+	for _, oi := range order {
+		it := items[oi]
+		b := it.pin
+		if b < 0 {
+			b = 0
+			for j := 1; j < bins; j++ {
+				if load[j] < load[b] || (load[j] == load[b] && count[j] < count[b]) {
+					b = j
+				}
+			}
+		}
+		load[b] += it.weight
+		count[b]++
+		out[oi] = b
+	}
+	return out
+}
+
+// PlanHosts packs colocation groups onto hostShards sub-shards. Each
+// group's weight is the sum of its members' weights (absent hosts weigh
+// zero); a pin forces the whole group onto one sub-shard. Two colocated
+// hosts pinned to different sub-shards are an error — their flows couple
+// them synchronously, so they cannot be split.
+func PlanHosts(groups [][]graph.NodeID, weights map[graph.NodeID]int64,
+	pins map[graph.NodeID]int, hostShards int) (map[graph.NodeID]int, error) {
+
+	if hostShards < 1 {
+		return nil, fmt.Errorf("sim: PlanHosts with %d sub-shards", hostShards)
+	}
+	items := make([]lptItem, len(groups))
+	for gi, g := range groups {
+		it := lptItem{pin: -1}
+		if len(g) == 0 {
+			return nil, fmt.Errorf("sim: PlanHosts given an empty colocation group")
+		}
+		min := g[0]
+		for _, h := range g {
+			if h < min {
+				min = h
+			}
+			it.weight += weights[h]
+			if p, ok := pins[h]; ok {
+				if p < 0 || p >= hostShards {
+					return nil, fmt.Errorf("sim: host %d pinned to sub-shard %d, outside [0,%d)", h, p, hostShards)
+				}
+				if it.pin >= 0 && it.pin != p {
+					return nil, fmt.Errorf("sim: colocated hosts pinned to sub-shards %d and %d; flow endpoints must share one sub-shard", it.pin, p)
+				}
+				it.pin = p
+			}
+		}
+		it.key = int64(min)
+		items[gi] = it
+	}
+	bins := lptPack(items, hostShards)
+	out := make(map[graph.NodeID]int)
+	for gi, g := range groups {
+		for _, h := range g {
+			out[h] = bins[gi]
+		}
+	}
+	return out, nil
+}
+
+// PlanPlanes packs dataplanes onto plane shards by weight (expected event
+// rate: measured occupancy, or aggregate capacity for a static plan). The
+// weights map defines the plane set — include zero-weight planes. A pin
+// forces a plane onto one shard.
+func PlanPlanes(weights map[int32]int64, pins map[int32]int, shards int) (map[int32]int, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("sim: PlanPlanes with %d shards", shards)
+	}
+	planes := make([]int32, 0, len(weights))
+	for p := range weights {
+		planes = append(planes, p)
+	}
+	sort.Slice(planes, func(i, j int) bool { return planes[i] < planes[j] })
+	items := make([]lptItem, len(planes))
+	for i, p := range planes {
+		items[i] = lptItem{weight: weights[p], key: int64(p), pin: -1}
+		if s, ok := pins[p]; ok {
+			if s < 0 || s >= shards {
+				return nil, fmt.Errorf("sim: plane %d pinned to shard %d, outside [0,%d)", p, s, shards)
+			}
+			items[i].pin = s
+		}
+	}
+	bins := lptPack(items, shards)
+	out := make(map[int32]int, len(planes))
+	for i, p := range planes {
+		out[p] = bins[i]
+	}
+	return out, nil
+}
+
+// PlaneLoadsFromCapacity returns per-plane weights proportional to each
+// dataplane's aggregate link capacity — the static expected event rate of
+// a heterogeneous P-Net, where a faster plane serializes more packets per
+// unit time. Weights are milli-Gb/s so fractional link speeds stay exact.
+func PlaneLoadsFromCapacity(g *graph.Graph) map[int32]int64 {
+	out := map[int32]int64{}
+	for i := 0; i < g.NumLinks(); i++ {
+		l := g.Link(graph.LinkID(i))
+		if l.Plane < 0 {
+			continue
+		}
+		out[l.Plane] += int64(l.Capacity * 1000)
+	}
+	return out
+}

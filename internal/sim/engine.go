@@ -130,6 +130,22 @@ func (e *Engine) SubShardEvents() []int64 {
 	return out
 }
 
+// PlaneShardEvents returns the per-plane-shard fired-event counts when
+// this engine heads a ShardSet with more than one plane shard, and nil
+// otherwise — the occupancy telemetry behind `pnetstat profile`'s
+// plane-shard imbalance. Call at a quiesced point.
+func (e *Engine) PlaneShardEvents() []int64 {
+	sh := e.shard
+	if sh == nil || sh.idx != 0 || len(sh.set.engines)-sh.set.hostShards <= 1 {
+		return nil
+	}
+	out := make([]int64, len(sh.set.engines)-sh.set.hostShards)
+	for i := range out {
+		out[i] = int64(sh.set.engines[sh.set.hostShards+i].fired)
+	}
+	return out
+}
+
 // EventsScheduled returns the number of events ever scheduled. On a
 // sharded engine the set's shared counter is the total.
 func (e *Engine) EventsScheduled() uint64 {

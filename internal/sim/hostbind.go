@@ -17,7 +17,11 @@ package sim
 // host's events, never their order, so output stays byte-identical to
 // serial at every (shards, host-shards) combination.
 
-import "pnet/internal/graph"
+import (
+	"sort"
+
+	"pnet/internal/graph"
+)
 
 // HostBind is a host's placement cell: the sub-shard engine that fires
 // its delivers, timers, and NIC uplinks. Cells are per-host and updated
@@ -65,9 +69,14 @@ func (n *Network) ufFind(x graph.NodeID) graph.NodeID {
 // synchronously (a transport flow between them). The smaller component
 // moves: its hosts' cells and uplink queues are rebound in place and any
 // pending events on the vacated engine are re-routed with their seqs
-// intact, which preserves pop order. No-op when host sub-sharding is off
-// or the hosts already share a component. Must be called at a serial
-// point; calls during an open window panic (shards are running).
+// intact, which preserves pop order. Before the ShardSet materializes
+// (PrepareHostBinds ran, NewShardSet has not) every cell still names the
+// serial engine, so the merge only updates the union-find and the
+// round-robin plannedShard — which is exactly what makes the lazy
+// default binding identical to the eager one. No-op when host
+// sub-sharding is off or the hosts already share a component. Must be
+// called at a serial point; calls during an open window panic (shards
+// are running).
 func (n *Network) Colocate(a, b graph.NodeID) {
 	if n.binds == nil || a == b {
 		return
@@ -77,7 +86,7 @@ func (n *Network) Colocate(a, b graph.NodeID) {
 		return
 	}
 	set := n.shardSet
-	if set.windowOpen {
+	if set != nil && set.windowOpen {
 		panic("sim: Colocate during an open window")
 	}
 	// The larger component wins (fewer rebinds); ties go to the lower
@@ -92,6 +101,7 @@ func (n *Network) Colocate(a, b graph.NodeID) {
 	for _, h := range n.ufMembers[lose] {
 		hb := n.binds[h]
 		hb.eng, hb.shard = target.eng, target.shard
+		n.plannedShard[h] = n.plannedShard[win]
 		for _, l := range n.hostUplinks[h] {
 			q := &n.queues[l]
 			q.eng, q.shard = target.eng, target.shard
@@ -113,4 +123,25 @@ func (n *Network) Colocate(a, b graph.NodeID) {
 		ev := pending.pop()
 		set.engineFor(ev.who).events.push(ev)
 	}
+}
+
+// ColocationGroups returns the current colocation components over bound
+// hosts — each group's members sorted by node ID, groups sorted by their
+// smallest member — the deterministic input a placement planner packs.
+// Nil when host binds are absent.
+func (n *Network) ColocationGroups() [][]graph.NodeID {
+	if n.binds == nil {
+		return nil
+	}
+	var out [][]graph.NodeID
+	for _, h := range n.hostList {
+		if n.ufMembers[h] == nil {
+			continue // not a component root
+		}
+		g := append([]graph.NodeID(nil), n.ufMembers[h]...)
+		sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
 }

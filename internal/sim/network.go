@@ -142,16 +142,29 @@ type Network struct {
 	shardPools []shardPool
 
 	// Host sub-sharding state (see hostbind.go). binds is per-node, nil
-	// except at hosts under an H>1 ShardSet; hostUplinks lists each
-	// host's NIC uplink queues for rebinding on Colocate; ufParent /
-	// ufMembers are the colocation union-find (members only at roots).
-	shardSet    *ShardSet
-	hostShards  int
-	binds       []*HostBind
-	serialBind  *HostBind
-	hostUplinks [][]graph.LinkID
-	ufParent    []graph.NodeID
-	ufMembers   [][]graph.NodeID
+	// except at hosts under an H>1 ShardSet (or once PrepareHostBinds ran
+	// ahead of one); hostUplinks lists each host's NIC uplink queues for
+	// rebinding on Colocate; ufParent / ufMembers are the colocation
+	// union-find (members only at roots). hostList is every bound host in
+	// node-ID order; plannedShard tracks the round-robin sub-shard each
+	// host's component would get, maintained across Colocate merges so a
+	// lazily-materialized ShardSet reproduces the eager binding exactly.
+	shardSet     *ShardSet
+	hostShards   int
+	binds        []*HostBind
+	serialBind   *HostBind
+	hostList     []graph.NodeID
+	hostUplinks  [][]graph.LinkID
+	ufParent     []graph.NodeID
+	ufMembers    [][]graph.NodeID
+	plannedShard []int
+
+	// hostLoad, when enabled (EnableHostLoad), counts final-hop packet
+	// delivers per destination node — the measured per-host occupancy
+	// behind profile-guided placement. Disabled it costs one branch per
+	// deliver. Race-free under sub-sharding: each host's delivers all fire
+	// on the one sub-shard that owns it.
+	hostLoad []int64
 
 	// Span (latency attribution) state: a pool of SpanLogs and the
 	// enable flag transports consult once per flow. See span.go.
@@ -319,48 +332,117 @@ func (n *Network) releaseOn(p *Packet, shard int) {
 	sp.pkts = p
 }
 
+// prepareHostBinds builds the per-host placement cells, uplink lists, and
+// colocation union-find for an H-way host partition — every cell
+// provisionally on the serial engine, hosts round-robined over sub-shards
+// in node-ID order into plannedShard. Idempotent; bindShards later swaps
+// the cells onto real shard engines in place, which is what lets flows
+// created before the ShardSet exists cache their cells safely.
+func (n *Network) prepareHostBinds(hostShards int, hostSide func(graph.LinkID) bool) {
+	if n.binds != nil {
+		return
+	}
+	n.binds = make([]*HostBind, n.G.NumNodes())
+	n.hostUplinks = make([][]graph.LinkID, n.G.NumNodes())
+	var hosts []graph.NodeID
+	for i := range n.queues {
+		id := graph.LinkID(i)
+		if hostSide(id) {
+			src := n.G.Link(id).Src
+			if n.hostUplinks[src] == nil {
+				hosts = append(hosts, src)
+			}
+			n.hostUplinks[src] = append(n.hostUplinks[src], id)
+		}
+	}
+	// Queue order is link order, so hosts arrive sorted by first
+	// uplink, not by node ID; sort for a topology-stable assignment.
+	for i := 1; i < len(hosts); i++ {
+		for j := i; j > 0 && hosts[j] < hosts[j-1]; j-- {
+			hosts[j], hosts[j-1] = hosts[j-1], hosts[j]
+		}
+	}
+	n.hostList = hosts
+	n.ufParent = make([]graph.NodeID, n.G.NumNodes())
+	for i := range n.ufParent {
+		n.ufParent[i] = graph.NodeID(i)
+	}
+	n.ufMembers = make([][]graph.NodeID, n.G.NumNodes())
+	n.plannedShard = make([]int, n.G.NumNodes())
+	for k, h := range hosts {
+		n.binds[h] = &HostBind{eng: n.Eng, shard: 0}
+		n.ufMembers[h] = []graph.NodeID{h}
+		n.plannedShard[h] = k % hostShards
+	}
+}
+
+// PrepareHostBinds pre-creates the per-host placement cells before any
+// ShardSet exists, so transports created first cache cells that the
+// eventual bindShards rebinds in place (lazy sharding: workload.Driver
+// defers NewShardSet to the first run so placement can use accumulated
+// workload knowledge). Until materialization every cell names the serial
+// engine; Colocate meanwhile merges components and keeps plannedShard
+// consistent, so the default binding comes out identical to an eagerly
+// built set's. No-op when hostShards ≤ 1 or already prepared.
+func (n *Network) PrepareHostBinds(hostShards int, hostSide func(graph.LinkID) bool) {
+	if hostShards > 1 {
+		n.prepareHostBinds(hostShards, hostSide)
+	}
+}
+
+// BoundHosts returns every host with a placement cell, in node-ID order
+// (nil when host binds are absent). The slice is owned by the network.
+func (n *Network) BoundHosts() []graph.NodeID { return n.hostList }
+
+// EnableHostLoad starts counting final-hop delivers per destination node
+// (see hostLoad). Idempotent.
+func (n *Network) EnableHostLoad() {
+	if n.hostLoad == nil {
+		n.hostLoad = make([]int64, n.G.NumNodes())
+	}
+}
+
+// HostLoads returns the per-node deliver counts, indexed by node ID, or
+// nil when EnableHostLoad was never called. Read at a quiesced point.
+func (n *Network) HostLoads() []int64 { return n.hostLoad }
+
 // bindShards assigns every queue to its owning shard engine: host-side
 // queues (the NIC uplinks, per hostSide) to their host's sub-shard,
-// switch queues to hostShards + plane mod planeShards. With H>1 it also
-// builds the per-host placement cells and the colocation union-find
-// (hosts round-robined over sub-shards in node-ID order — deterministic,
-// and refined by Colocate as flows couple them). Called once by
-// NewShardSet.
+// switch queues to their plane's shard. With H>1 it also builds (or
+// adopts, when PrepareHostBinds ran earlier) the per-host placement cells
+// and the colocation union-find. Hosts default to their round-robin
+// plannedShard, planes to plane mod planeShards; a ShardSet Placement
+// overrides either side per entry. Called once by NewShardSet.
 func (n *Network) bindShards(set *ShardSet, hostSide func(graph.LinkID) bool) {
 	n.shardSet = set
 	n.hostShards = set.hostShards
 	planes := len(set.engines) - set.hostShards
 	n.shardPools = make([]shardPool, len(set.engines))
+	place := set.place
 	if set.hostShards > 1 {
-		n.binds = make([]*HostBind, n.G.NumNodes())
-		n.hostUplinks = make([][]graph.LinkID, n.G.NumNodes())
-		var hosts []graph.NodeID
-		for i := range n.queues {
-			id := graph.LinkID(i)
-			if hostSide(id) {
-				src := n.G.Link(id).Src
-				if n.hostUplinks[src] == nil {
-					hosts = append(hosts, src)
+		n.prepareHostBinds(set.hostShards, hostSide)
+		for _, h := range n.hostList {
+			s := n.plannedShard[h]
+			if place != nil {
+				if ps, ok := place.Hosts[h]; ok {
+					s = ps
 				}
-				n.hostUplinks[src] = append(n.hostUplinks[src], id)
 			}
+			hb := n.binds[h]
+			hb.eng, hb.shard = set.engines[s], s
 		}
-		// Queue order is link order, so hosts arrive sorted by first
-		// uplink, not by node ID; sort for a topology-stable assignment.
-		for i := 1; i < len(hosts); i++ {
-			for j := i; j > 0 && hosts[j] < hosts[j-1]; j-- {
-				hosts[j], hosts[j-1] = hosts[j-1], hosts[j]
+		// A placement must keep each colocation group whole: colocated
+		// flow endpoints share state synchronously and cannot be split
+		// across sub-shard engines.
+		if place != nil && len(place.Hosts) > 0 {
+			for _, h := range n.hostList {
+				for _, m := range n.ufMembers[h] {
+					if n.binds[m].shard != n.binds[h].shard {
+						panic(fmt.Sprintf("sim: placement splits colocated hosts %d (sub-shard %d) and %d (sub-shard %d)",
+							h, n.binds[h].shard, m, n.binds[m].shard))
+					}
+				}
 			}
-		}
-		n.ufParent = make([]graph.NodeID, n.G.NumNodes())
-		for i := range n.ufParent {
-			n.ufParent[i] = graph.NodeID(i)
-		}
-		n.ufMembers = make([][]graph.NodeID, n.G.NumNodes())
-		for k, h := range hosts {
-			s := k % set.hostShards
-			n.binds[h] = &HostBind{eng: set.engines[s], shard: s}
-			n.ufMembers[h] = []graph.NodeID{h}
 		}
 	}
 	for i := range n.queues {
@@ -379,7 +461,13 @@ func (n *Network) bindShards(set *ShardSet, hostSide func(graph.LinkID) bool) {
 			q.eng, q.shard = set.engines[0], 0
 			continue
 		}
-		s := set.hostShards + int(q.plane)%planes
+		ps := int(q.plane) % planes
+		if place != nil {
+			if s, ok := place.Planes[q.plane]; ok {
+				ps = s
+			}
+		}
+		s := set.hostShards + ps
 		q.eng = set.engines[s]
 		q.shard = s
 	}
@@ -506,6 +594,9 @@ func (n *Network) TotalDrops() int64 {
 // Route[Hop]: it either forwards to the next queue or delivers.
 func (n *Network) arrive(p *Packet) {
 	if int(p.Hop) == len(p.Route)-1 {
+		if n.hostLoad != nil {
+			n.hostLoad[n.G.Link(p.Route[p.Hop]).Dst]++
+		}
 		if n.Tracer != nil {
 			n.Tracer.PacketEvent(TraceDeliver, p, p.Route[p.Hop])
 		}

@@ -119,7 +119,8 @@ type ShardSet struct {
 	net        *Network
 	look       Time
 	hostShards int
-	seq        uint64 // shared true-seq counter, continues the host engine's
+	place      *Placement // nil = round-robin hosts, plane mod shards
+	seq        uint64     // shared true-seq counter, continues the host engine's
 
 	windowOpen  bool
 	windowLimit Time
@@ -150,6 +151,16 @@ const parallelCommitMin = 256
 // shrink the window. Events already scheduled on eng are re-routed to
 // their owning shards with their seqs intact.
 func NewShardSet(eng *Engine, net *Network, shards, hostShards int, lookahead Time, hostSide func(graph.LinkID) bool) *ShardSet {
+	return NewShardSetPlaced(eng, net, shards, hostShards, lookahead, hostSide, nil)
+}
+
+// NewShardSetPlaced is NewShardSet with an explicit shard placement: hosts
+// and planes listed in place override the default round-robin / plane mod
+// shards assignment (see Placement). Placement is pure ownership — it
+// never changes committed event order — so output stays byte-identical to
+// serial and to every other placement. A placement that names an
+// out-of-range shard or splits a colocation group panics.
+func NewShardSetPlaced(eng *Engine, net *Network, shards, hostShards int, lookahead Time, hostSide func(graph.LinkID) bool, place *Placement) *ShardSet {
 	if eng.shard != nil {
 		panic("sim: engine is already part of a ShardSet")
 	}
@@ -159,10 +170,22 @@ func NewShardSet(eng *Engine, net *Network, shards, hostShards int, lookahead Ti
 	if hostShards < 1 {
 		panic(fmt.Sprintf("sim: NewShardSet with %d host shards", hostShards))
 	}
+	if place != nil {
+		for h, s := range place.Hosts {
+			if s < 0 || s >= hostShards {
+				panic(fmt.Sprintf("sim: placement puts host %d on sub-shard %d, outside [0,%d)", h, s, hostShards))
+			}
+		}
+		for p, s := range place.Planes {
+			if s < 0 || s >= shards {
+				panic(fmt.Sprintf("sim: placement puts plane %d on shard %d, outside [0,%d)", p, s, shards))
+			}
+		}
+	}
 	if lookahead <= 0 || lookahead > net.PropDelay() {
 		lookahead = net.PropDelay()
 	}
-	set := &ShardSet{net: net, look: lookahead, hostShards: hostShards, seq: eng.seq}
+	set := &ShardSet{net: net, look: lookahead, hostShards: hostShards, place: place, seq: eng.seq}
 	set.engines = make([]*Engine, hostShards+shards)
 	set.engines[0] = eng
 	eng.shard = &engineShard{set: set, idx: 0}
